@@ -1,0 +1,39 @@
+"""Shared utilities for the figure-reproduction benchmarks.
+
+Every benchmark regenerates one table/figure of the paper as an aligned
+text table, printed to stdout and written to ``benchmarks/results/``.
+
+Scale: by default the benchmarks run a reduced workload (fewer pairs,
+fewer seeds, fewer sweep points) so the whole suite finishes in minutes.
+Set ``REPRO_SCALE=full`` for paper-scale runs (100-pair requests, more
+seeds) — same code, longer sweeps.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+FULL_SCALE = os.environ.get("REPRO_SCALE", "quick").lower() == "full"
+
+
+def scale(quick, full):
+    """Pick a workload parameter by scale."""
+    return full if FULL_SCALE else quick
+
+
+def write_result(name: str, text: str) -> None:
+    """Persist a rendered table under benchmarks/results/ and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print()
+    print(text)
+
+
+def steady_state_window(total_s: float, warmup_fraction: float = 0.5
+                        ) -> tuple[float, float]:
+    """Measurement window in ns, skipping the warm-up."""
+    return total_s * warmup_fraction * 1e9, total_s * 1e9

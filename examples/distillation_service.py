@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Entanglement distillation as a layered service (Sec 4.3).
+
+An inner QNP circuit delivers pairs between two end-points; a distillation
+module consumes them two at a time (DEJMPS) and produces fewer,
+higher-fidelity pairs — the building block the paper proposes for
+overcoming the fundamental fidelity loss of long swap chains.
+
+The example compares the ground-truth fidelity of the raw QNP pairs with
+the distilled ones and with the DEJMPS closed-form prediction.
+
+Run:  python examples/distillation_service.py
+"""
+
+from repro import UserRequest, build_chain_network
+from repro.analysis import mean
+from repro.quantum import pair_fidelity
+from repro.services import DistillationModule, theoretical_dejmps_fidelity
+
+
+def main() -> None:
+    net = build_chain_network(num_nodes=3, seed=13)
+    circuit_id = net.establish_circuit("node0", "node2", target_fidelity=0.8)
+    handle = net.submit(circuit_id, UserRequest(num_pairs=48),
+                        record_fidelity=False)
+    net.run_until_complete([handle], timeout_s=600)
+
+    # Pair up confirmed deliveries from both ends.  Two nested DEJMPS
+    # levels: single-click pairs carry a bit/bit-phase error mix for which
+    # one round is neutral — the second round does the purifying.
+    tail_by_pair = {d.pair_id: d for d in handle.tail_deliveries}
+    module = DistillationModule(net.sim.rng, levels=2)
+    raw_fidelities = []
+    for head_delivery in handle.delivered:
+        tail_delivery = tail_by_pair.get(head_delivery.pair_id)
+        if tail_delivery is None or head_delivery.qubit is None:
+            continue
+        raw_fidelities.append(pair_fidelity(
+            head_delivery.qubit, tail_delivery.qubit,
+            int(head_delivery.bell_state)))
+        module.absorb(head_delivery.qubit, tail_delivery.qubit,
+                      head_delivery.bell_state)
+
+    distilled_fidelities = [pair_fidelity(keep_a, keep_b, 0)
+                            for keep_a, keep_b in module.distilled]
+
+    raw_mean = mean(raw_fidelities)
+    print("Layered distillation service over a 3-node circuit\n")
+    print(f"raw QNP pairs        : {len(raw_fidelities)}  "
+          f"mean fidelity {raw_mean:.4f}")
+    print(f"DEJMPS rounds        : {module.rounds_attempted} "
+          f"(success rate {module.success_rate:.2f})")
+    if distilled_fidelities:
+        print(f"2-level distilled    : {len(distilled_fidelities)}  "
+              f"mean fidelity {mean(distilled_fidelities):.4f}")
+    print(f"Werner 1-round theory: {theoretical_dejmps_fidelity(raw_mean):.4f}")
+    print("\nDistillation trades rate for fidelity: four raw pairs (plus")
+    print("failures) buy one pair purer than the swap chain can deliver —")
+    print("the building-block service of Sec 4.3.")
+
+
+if __name__ == "__main__":
+    main()

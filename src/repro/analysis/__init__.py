@@ -1,0 +1,21 @@
+"""Evaluation helpers: statistics, seed sweeps, table rendering."""
+
+from .experiments import SeedSweep, render_series, render_table, run_seeds
+from .stats import Cdf, LatencySummary, mean, percentile, standard_error, throughput
+from .tracing import EventLog, TraceEvent, attach_trace
+
+__all__ = [
+    "EventLog",
+    "TraceEvent",
+    "attach_trace",
+    "Cdf",
+    "LatencySummary",
+    "mean",
+    "percentile",
+    "standard_error",
+    "throughput",
+    "SeedSweep",
+    "run_seeds",
+    "render_table",
+    "render_series",
+]

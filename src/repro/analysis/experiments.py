@@ -1,0 +1,73 @@
+"""Experiment harness utilities: seed sweeps and text rendering.
+
+The benchmarks print their figures as aligned text tables and series —
+the repository has no plotting dependency, and the point of the harness is
+the *numbers* (who wins, by what factor, where crossovers fall).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from .stats import mean, standard_error
+
+
+@dataclass
+class SeedSweep:
+    """Run a scenario across seeds and aggregate per-seed scalars."""
+
+    scenario: Callable[[int], float]
+    seeds: Sequence[int]
+    samples: list[float] = field(default_factory=list)
+
+    def run(self) -> "SeedSweep":
+        self.samples = [float(self.scenario(seed)) for seed in self.seeds]
+        return self
+
+    @property
+    def mean(self) -> float:
+        return mean(self.samples)
+
+    @property
+    def sem(self) -> float:
+        return standard_error(self.samples)
+
+
+def run_seeds(scenario: Callable[[int], float], seeds: Iterable[int]) -> SeedSweep:
+    """Convenience wrapper: ``run_seeds(fn, range(5)).mean``."""
+    return SeedSweep(scenario=scenario, seeds=list(seeds)).run()
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: str = "") -> str:
+    """Render an aligned text table (benchmark output format)."""
+    cells = [[str(h) for h in headers]]
+    for row in rows:
+        cells.append([_fmt(value) for value in row])
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells[1:]:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(name: str, xs: Sequence, ys: Sequence,
+                  x_label: str = "x", y_label: str = "y") -> str:
+    """Render an (x, y) series as a two-column table."""
+    return render_table([x_label, y_label], list(zip(xs, ys)), title=name)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1000 or magnitude < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)

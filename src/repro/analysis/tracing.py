@@ -1,0 +1,85 @@
+"""Protocol event tracing.
+
+A lightweight event log that the QNP engines append to when attached.
+Used for debugging, for the tests that assert protocol-level orderings,
+and by ``examples/sequence_trace.py`` to render the paper's Fig 6 message
+sequence from a live run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One protocol-level event at one node."""
+
+    time: float
+    node: str
+    kind: str
+    detail: dict
+
+    def __str__(self) -> str:
+        pieces = " ".join(f"{key}={value}" for key, value in self.detail.items())
+        return f"[{self.time / 1e6:10.3f} ms] {self.node:<8} {self.kind:<14} {pieces}"
+
+
+class EventLog:
+    """Append-only trace shared by all nodes of a network."""
+
+    def __init__(self):
+        self.events: list[TraceEvent] = []
+
+    def record(self, time: float, node: str, kind: str, **detail) -> None:
+        self.events.append(TraceEvent(time=time, node=node, kind=kind,
+                                      detail=detail))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def of_kind(self, *kinds: str) -> list[TraceEvent]:
+        wanted = set(kinds)
+        return [event for event in self.events if event.kind in wanted]
+
+    def at_node(self, node: str) -> list[TraceEvent]:
+        return [event for event in self.events if event.node == node]
+
+    def first(self, kind: str) -> Optional[TraceEvent]:
+        for event in self.events:
+            if event.kind == kind:
+                return event
+        return None
+
+    def render_sequence(self, nodes: Iterable[str],
+                        max_events: int = 200) -> str:
+        """Render a Fig 6-style sequence diagram: one column per node,
+        events in time order."""
+        nodes = list(nodes)
+        width = 16
+        header = f"{'time (ms)':>12}  " + "".join(f"{n:<{width}}" for n in nodes)
+        rule = "-" * len(header)
+        lines = [header, rule]
+        for event in self.events[:max_events]:
+            if event.node not in nodes:
+                continue
+            column = nodes.index(event.node)
+            label = event.kind
+            if "to" in event.detail:
+                label = f"{event.kind}->{event.detail['to']}"
+            cells = [" " * width] * len(nodes)
+            cells[column] = f"{label:<{width}}"[:width]
+            lines.append(f"{event.time / 1e6:>12.3f}  " + "".join(cells))
+        return "\n".join(lines)
+
+
+def attach_trace(net) -> EventLog:
+    """Attach a shared event log to every QNP engine in a network."""
+    log = EventLog()
+    for qnp in net.qnps.values():
+        qnp.trace = log
+    return log

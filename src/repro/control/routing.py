@@ -1,0 +1,272 @@
+"""Central routing controller (Sec 5's "rudimentary algorithm").
+
+The controller computes, for a requested end-to-end fidelity:
+
+* the path (shortest path — all links/nodes are assumed identical, as in
+  the paper's evaluation),
+* the **per-link minimum fidelity**, found by binary search over the exact
+  worst-case composition: every link pair is assumed to sit in memory for
+  one full cutoff window before being swapped, and the L−1 noisy swaps are
+  composed with the density-matrix engine's outcome-averaged swap map,
+* the **cutoff time**, per policy:
+
+  - ``"loss"`` (the paper's default): the time for a link pair to lose
+    ~1.5 % of its initial fidelity,
+  - ``"short"``: the time by which a link has 0.85 probability of having
+    generated a pair (Sec 5.1's "shorter cutoff"),
+  - an explicit number (ns), or ``None`` to disable the mechanism,
+
+* the link-pair rate (LPR) each link can sustain at that fidelity and the
+  resulting end-to-end rate (EER) estimate used for policing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import networkx as nx
+import numpy as np
+
+from ..hardware.heralded import SingleClickModel
+from ..netsim.units import S
+from ..quantum.bell import BellIndex
+from ..quantum.channels import decoherence_kraus
+from ..quantum.fidelity import bell_fidelity
+from ..quantum.gates import PAULI_FRAME
+from ..quantum.operations import NoisyOpParams, averaged_swap_dm
+from ..core.circuit import RoutingEntry
+
+CutoffPolicy = Union[str, float, None]
+
+#: Fraction of initial fidelity lost at the "loss" cutoff (Sec 5).
+LOSS_CUTOFF_FRACTION = 0.015
+#: Generation-probability quantile of the "short" cutoff (Sec 5.1).
+SHORT_CUTOFF_QUANTILE = 0.85
+
+
+class RouteError(Exception):
+    """No path can satisfy the requested end-to-end fidelity."""
+
+
+@dataclass
+class RouteComputation:
+    """Everything the signalling protocol needs to install a circuit."""
+
+    path: list[str]
+    link_names: list[str]
+    link_fidelity: float
+    cutoff: Optional[float]
+    max_lpr: float
+    eer: float
+    estimated_fidelity: float
+    target_fidelity: float
+
+    @property
+    def num_links(self) -> int:
+        return len(self.link_names)
+
+
+def _canonical_link_dm(model: SingleClickModel, link_fidelity: float) -> np.ndarray:
+    """Produced link state, rotated into the Φ+ frame.
+
+    The heralded state is Ψ±; lazy tracking folds the frame into the
+    delivered Bell index, so budgeting in the canonical frame is exact.
+    """
+    alpha = model.alpha_for_fidelity(link_fidelity)
+    dm = model.produced_dm(alpha, BellIndex.PSI_PLUS)
+    pauli = np.kron(np.eye(2, dtype=complex), PAULI_FRAME[1])  # X: Ψ+ → Φ+
+    return pauli.conj().T @ dm @ pauli
+
+
+def _age_pair(dm: np.ndarray, elapsed: float, t1: float, t2: float) -> np.ndarray:
+    """Apply memory decoherence to both qubits of a pair state."""
+    if elapsed <= 0:
+        return dm
+    identity = np.eye(2, dtype=complex)
+    aged = np.zeros_like(dm)
+    for op_a in decoherence_kraus(elapsed, t1, t2):
+        big = np.kron(op_a, identity)
+        aged += big @ dm @ big.conj().T
+    result = np.zeros_like(dm)
+    for op_b in decoherence_kraus(elapsed, t1, t2):
+        big = np.kron(identity, op_b)
+        result += big @ aged @ big.conj().T
+    return result
+
+
+class CentralController:
+    """Centralised routing with the worst-case fidelity budget."""
+
+    def __init__(self, graph: nx.Graph, links: dict, memory_t1: float,
+                 memory_t2: float, ops: NoisyOpParams):
+        """``links`` maps ``frozenset({u, v})`` → :class:`~repro.linklayer.egp.Link`."""
+        self.graph = graph
+        self.links = links
+        self.memory_t1 = memory_t1
+        self.memory_t2 = memory_t2
+        self.ops = ops
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def compute_route(self, head: str, tail: str, target_fidelity: float,
+                      cutoff_policy: CutoffPolicy = "loss") -> RouteComputation:
+        """Compute path, link fidelities, cutoff, LPR and EER."""
+        if not 0.5 <= target_fidelity < 1.0:
+            raise RouteError(f"target fidelity {target_fidelity} must be in [0.5, 1)")
+        try:
+            path = nx.shortest_path(self.graph, head, tail)
+        except (nx.NetworkXNoPath, nx.NodeNotFound) as exc:
+            raise RouteError(f"no path from {head} to {tail}") from exc
+        link_objects = [self._link(path[i], path[i + 1]) for i in range(len(path) - 1)]
+        num_links = len(link_objects)
+        model = link_objects[0].model  # identical links (Sec 5 assumption)
+
+        ceiling = self._fidelity_ceiling(model)
+        if ceiling < target_fidelity:
+            raise RouteError(
+                f"links cannot produce fidelity {target_fidelity:.3f} "
+                f"(ceiling ≈ {ceiling:.3f})")
+
+        # Fixed-point iteration between the cutoff window and the link
+        # fidelity (each depends on the other through the decoherence
+        # budget); converges in a couple of rounds.
+        link_fidelity = min(ceiling, max(target_fidelity, 0.9))
+        cutoff = self._cutoff_for(model, link_fidelity, cutoff_policy)
+        for _ in range(3):
+            link_fidelity = self._solve_link_fidelity(
+                model, num_links, target_fidelity, cutoff, ceiling)
+            cutoff = self._cutoff_for(model, link_fidelity, cutoff_policy)
+
+        estimated = self._worst_case_fidelity(model, link_fidelity, num_links,
+                                              cutoff if cutoff else 0.0)
+        max_lpr = min(link.max_lpr(link_fidelity) for link in link_objects)
+        eer = self._estimate_eer(model, link_fidelity, cutoff, max_lpr)
+        return RouteComputation(
+            path=path,
+            link_names=[link.name for link in link_objects],
+            link_fidelity=link_fidelity,
+            cutoff=cutoff,
+            max_lpr=max_lpr,
+            eer=eer,
+            estimated_fidelity=estimated,
+            target_fidelity=target_fidelity,
+        )
+
+    def build_entries(self, circuit_id: str, route: RouteComputation,
+                      max_eer: Optional[float] = None) -> list[RoutingEntry]:
+        """Materialise the per-node routing table rows for a route."""
+        label = f"label:{circuit_id}"
+        eer = max_eer if max_eer is not None else route.eer
+        entries = []
+        path = route.path
+        for index, node in enumerate(path):
+            upstream = path[index - 1] if index > 0 else None
+            downstream = path[index + 1] if index < len(path) - 1 else None
+            entries.append(RoutingEntry(
+                circuit_id=circuit_id,
+                node=node,
+                upstream_node=upstream,
+                downstream_node=downstream,
+                upstream_link=route.link_names[index - 1] if upstream else None,
+                downstream_link=route.link_names[index] if downstream else None,
+                upstream_link_label=label if upstream else None,
+                downstream_link_label=label if downstream else None,
+                downstream_min_fidelity=route.link_fidelity if downstream else None,
+                downstream_max_lpr=route.max_lpr if downstream else None,
+                circuit_max_eer=eer,
+                cutoff=route.cutoff,
+                estimated_fidelity=route.estimated_fidelity,
+            ))
+        return entries
+
+    # ------------------------------------------------------------------
+    # Budget internals
+    # ------------------------------------------------------------------
+
+    def _worst_case_fidelity(self, model: SingleClickModel, link_fidelity: float,
+                             num_links: int, cutoff: float) -> float:
+        """Worst-case end-to-end fidelity: every pair aged one full cutoff
+        window, then L−1 noisy swaps (the Sec 5 budget)."""
+        aged = _age_pair(_canonical_link_dm(model, link_fidelity), cutoff,
+                         self.memory_t1, self.memory_t2)
+        rho = aged
+        for _ in range(num_links - 1):
+            rho = averaged_swap_dm(rho, aged, self.ops)
+        return bell_fidelity(rho, 0)
+
+    def _solve_link_fidelity(self, model: SingleClickModel, num_links: int,
+                             target: float, cutoff: Optional[float],
+                             ceiling: float) -> float:
+        window = cutoff if cutoff else 0.0
+        if self._worst_case_fidelity(model, ceiling, num_links, window) < target:
+            raise RouteError(
+                f"path of {num_links} links cannot meet fidelity {target:.3f} "
+                f"even at the link ceiling {ceiling:.3f}")
+        low, high = target, ceiling
+        for _ in range(40):
+            mid = (low + high) / 2
+            if self._worst_case_fidelity(model, mid, num_links, window) >= target:
+                high = mid
+            else:
+                low = mid
+        return high
+
+    def _cutoff_for(self, model: SingleClickModel, link_fidelity: float,
+                    policy: CutoffPolicy) -> Optional[float]:
+        if policy is None:
+            return None
+        if isinstance(policy, (int, float)):
+            if policy <= 0:
+                raise RouteError("explicit cutoff must be positive")
+            return float(policy)
+        if policy == "short":
+            return model.time_quantile(model.alpha_for_fidelity(link_fidelity),
+                                       SHORT_CUTOFF_QUANTILE)
+        if policy == "loss":
+            return self._loss_cutoff(model, link_fidelity)
+        raise RouteError(f"unknown cutoff policy {policy!r}")
+
+    def _loss_cutoff(self, model: SingleClickModel, link_fidelity: float) -> float:
+        """Time for a link pair to lose LOSS_CUTOFF_FRACTION of its fidelity."""
+        dm = _canonical_link_dm(model, link_fidelity)
+        initial = bell_fidelity(dm, 0)
+        target = initial * (1.0 - LOSS_CUTOFF_FRACTION)
+        low, high = 0.0, 60.0 * S
+        while bell_fidelity(_age_pair(dm, high, self.memory_t1, self.memory_t2),
+                            0) > target:
+            high *= 4.0
+            if high > 1e15:  # pragma: no cover - essentially noiseless memory
+                return high
+        for _ in range(60):
+            mid = (low + high) / 2
+            aged = _age_pair(dm, mid, self.memory_t1, self.memory_t2)
+            if bell_fidelity(aged, 0) > target:
+                low = mid
+            else:
+                high = mid
+        return (low + high) / 2
+
+    def _estimate_eer(self, model: SingleClickModel, link_fidelity: float,
+                      cutoff: Optional[float], max_lpr: float) -> float:
+        """EER estimate: the bottleneck LPR times the probability that the
+        matching pair arrives within the cutoff window."""
+        if cutoff is None:
+            return max_lpr
+        alpha = model.alpha_for_fidelity(link_fidelity)
+        p = model.success_probability(alpha)
+        attempts_in_window = max(1.0, cutoff / model.cycle_time)
+        p_match = 1.0 - (1.0 - p) ** attempts_in_window
+        return max_lpr * p_match
+
+    def _fidelity_ceiling(self, model: SingleClickModel) -> float:
+        grid = np.geomspace(1e-3, 0.5, 200)
+        return float(max(model.fidelity(alpha) for alpha in grid)) - 1e-6
+
+    def _link(self, node_a: str, node_b: str):
+        try:
+            return self.links[frozenset((node_a, node_b))]
+        except KeyError:
+            raise RouteError(f"no link between {node_a} and {node_b}") from None

@@ -1,0 +1,44 @@
+"""The Quantum Network Protocol — the paper's primary contribution."""
+
+from .circuit import CircuitRole, RoutingEntry
+from .demux import SymmetricDemultiplexer
+from .epochs import EpochManager
+from .messages import Complete, Direction, Expire, Forward, Track
+from .policing import Policer, PolicerDecision
+from .qnp import CircuitRuntime, QNPNode, RequestRecord
+from .requests import (
+    DeliveryStatus,
+    PairDelivery,
+    RequestHandle,
+    RequestStatus,
+    RequestType,
+    UserRequest,
+)
+from .tracker import DirectionState, EndPairState, PairInfo, SwapRecord
+
+__all__ = [
+    "QNPNode",
+    "CircuitRuntime",
+    "RequestRecord",
+    "RoutingEntry",
+    "CircuitRole",
+    "UserRequest",
+    "RequestType",
+    "RequestStatus",
+    "RequestHandle",
+    "PairDelivery",
+    "DeliveryStatus",
+    "Forward",
+    "Complete",
+    "Track",
+    "Expire",
+    "Direction",
+    "EpochManager",
+    "SymmetricDemultiplexer",
+    "Policer",
+    "PolicerDecision",
+    "DirectionState",
+    "PairInfo",
+    "SwapRecord",
+    "EndPairState",
+]

@@ -1,0 +1,103 @@
+"""QNP control messages (Appendix C.2).
+
+Two levels of granularity: request level (FORWARD, COMPLETE) and pair level
+(TRACK, EXPIRE).  All messages carry the opaque circuit ID and travel
+hop-by-hop along the virtual circuit over the classical channels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+from ..quantum.bell import BellIndex
+from .requests import RequestType
+
+
+class Direction(Enum):
+    """Travel direction along the circuit."""
+
+    DOWNSTREAM = "downstream"   # head-end → tail-end
+    UPSTREAM = "upstream"       # tail-end → head-end
+
+    @property
+    def reverse(self) -> "Direction":
+        return Direction.UPSTREAM if self is Direction.DOWNSTREAM else Direction.DOWNSTREAM
+
+
+@dataclass
+class Forward:
+    """Propagates a new request from head-end to tail-end.
+
+    Initiates/updates the link layer requests at every node and gives the
+    tail-end its book-keeping data.
+    """
+
+    circuit_id: str
+    request_id: str
+    head_end_identifier: int
+    tail_end_identifier: int
+    request_type: RequestType
+    measure_info: Optional[str]            # basis for MEASURE requests
+    number_of_pairs: Optional[int]         # None for rate requests
+    final_state: Optional[BellIndex]
+    #: Total EER (pairs/s) the sum of all active requests now needs.
+    rate: float
+    #: True when every active request is rate-based: the nodes may then
+    #: scale the link LPR down to the needed fraction (Sec 4.1).
+    rate_based_only: bool = False
+    #: Epoch bookkeeping: the epoch this request activates and its request
+    #: membership (lets the tail-end mirror the head-end's epoch table).
+    epoch: int = 0
+    epoch_requests: tuple = field(default_factory=tuple)
+
+
+@dataclass
+class Complete:
+    """Propagates a request's completion from head-end to tail-end."""
+
+    circuit_id: str
+    request_id: str
+    head_end_identifier: int
+    tail_end_identifier: int
+    rate: float
+    rate_based_only: bool = False
+    epoch: int = 0
+    epoch_requests: tuple = field(default_factory=tuple)
+
+
+@dataclass
+class Track:
+    """The key data plane message: follows one chain of link-pairs along
+    the circuit, collecting swap records lazily (Sec 4.1)."""
+
+    circuit_id: str
+    direction: Direction
+    request_id: str
+    head_end_identifier: int
+    tail_end_identifier: int
+    #: Correlator of the link-pair at the message's origin end-node
+    #: (constant; used to address EXPIRE notifications).
+    origin_correlator: tuple
+    #: Correlator of the link-pair continuing the chain — rewritten at
+    #: every swap the message passes.
+    link_correlator: tuple
+    #: Running Bell-frame estimate of the end-to-end pair.
+    outcome_state: BellIndex
+    #: Epoch to activate after this pair is delivered (set by head-end;
+    #: None on tail-end-originated TRACKs).
+    epoch: Optional[int] = None
+
+
+@dataclass
+class Expire:
+    """Tells an end-node that the chain its TRACK followed has broken.
+
+    End-nodes never run cutoff timers (that would create half-delivered
+    pairs); they discard only on receipt of this message (Appendix C.2).
+    """
+
+    circuit_id: str
+    direction: Direction
+    origin_correlator: tuple

@@ -1,0 +1,168 @@
+"""User-facing request API of the quantum network layer (Sec 3.2).
+
+Applications ask for entangled pairs with a fidelity threshold and a time
+class of service:
+
+* *measure directly*: ``N`` pairs by deadline ``T``, or a rate ``R``;
+* *create and keep*: ``N`` pairs by ``T`` with the last at most ``Δt``
+  after the first.
+
+``request_type`` selects when the pair is consumed (Appendix C.2):
+
+* ``KEEP`` — delivered once creation is confirmed by tracking,
+* ``EARLY`` — delivered as soon as the local qubit exists; the application
+  handles failure notifications and waits for tracking info itself,
+* ``MEASURE`` — the QNP measures immediately and withholds the outcome
+  until tracking confirms the pair.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+from ..quantum.bell import BellIndex
+
+_request_ids = itertools.count()
+
+
+class RequestType(Enum):
+    """When the pair is to be consumed (FORWARD.request_type)."""
+
+    KEEP = "keep"
+    EARLY = "early"
+    MEASURE = "measure"
+
+
+class DeliveryStatus(Enum):
+    """Lifecycle of one delivered pair."""
+
+    #: EARLY delivery: qubit handed over, tracking info still pending.
+    PENDING = "pending"
+    #: Tracking confirmed; Bell state information final.
+    CONFIRMED = "confirmed"
+    #: The chain broke (EXPIRE) or the demux cross-check failed.
+    EXPIRED = "expired"
+
+
+class RequestStatus(Enum):
+    """Lifecycle of a whole request."""
+
+    QUEUED = "queued"        # shaped: waiting for circuit bandwidth
+    ACTIVE = "active"
+    COMPLETED = "completed"
+    REJECTED = "rejected"    # policed: minimum EER cannot be satisfied
+    ABORTED = "aborted"
+
+
+@dataclass
+class UserRequest:
+    """An application's request for end-to-end entangled pairs."""
+
+    #: Number of pairs (None for pure rate requests).
+    num_pairs: Optional[int] = None
+    #: Requested rate R in pairs/s (measure-directly rate class).
+    rate: Optional[float] = None
+    #: Deadline T in ns from submission (None / 0 = no deadline).
+    deadline: Optional[float] = None
+    #: Create-and-keep window Δt in ns (last pair ≤ Δt after the first).
+    delta_t: Optional[float] = None
+    request_type: RequestType = RequestType.KEEP
+    #: Measurement basis for MEASURE requests.
+    measure_basis: str = "Z"
+    #: If set, the head-end Pauli-corrects pairs into this Bell state
+    #: (unavailable for EARLY requests).
+    final_state: Optional[BellIndex] = None
+    request_id: str = field(default_factory=lambda: f"req{next(_request_ids)}")
+
+    def __post_init__(self):
+        if self.num_pairs is None and self.rate is None:
+            raise ValueError("request needs a pair count or a rate")
+        if self.num_pairs is not None and self.num_pairs <= 0:
+            raise ValueError("num_pairs must be positive")
+        if self.rate is not None and self.rate <= 0:
+            raise ValueError("rate must be positive")
+        if self.final_state is not None and self.request_type == RequestType.EARLY:
+            raise ValueError("EARLY requests cannot ask for a final state "
+                             "(the correction frame is not yet known)")
+        if self.delta_t is not None and self.delta_t <= 0:
+            raise ValueError("delta_t must be positive")
+
+    def minimum_eer(self) -> float:
+        """Minimum end-to-end rate (pairs/s) this request needs (Sec 4.1).
+
+        measure directly: N/T, or R, or 0 when no deadline;
+        create and keep: N/Δt.
+        """
+        if self.delta_t is not None and self.num_pairs is not None:
+            return self.num_pairs / (self.delta_t / 1e9)
+        if self.rate is not None:
+            return self.rate
+        if self.deadline and self.num_pairs is not None:
+            return self.num_pairs / (self.deadline / 1e9)
+        return 0.0
+
+    @property
+    def is_rate_based(self) -> bool:
+        """Rate-only requests let the QNP scale down the link LPR."""
+        return self.num_pairs is None and self.rate is not None
+
+
+@dataclass
+class PairDelivery:
+    """One end-to-end pair (or its measurement outcome) handed to a user."""
+
+    request_id: str
+    sequence: int
+    status: DeliveryStatus
+    #: The local qubit handle (KEEP/EARLY; None for MEASURE).
+    qubit: Optional[object]
+    #: Measurement outcome bit (MEASURE only).
+    measurement: Optional[int]
+    #: The Bell state of the delivered pair (None while PENDING).
+    bell_state: Optional[BellIndex]
+    #: Entangled pair identifier — the end-to-end pair identity (Sec 3.2),
+    #: realised as the origin end-node's link-pair correlator.
+    pair_id: tuple
+    t_created: float
+    t_delivered: float
+    #: The circuit's worst-case fidelity estimate from the routing budget
+    #: (the protocol cannot measure actual fidelity — Sec 4.1).
+    estimated_fidelity: float = 0.0
+
+
+class RequestHandle:
+    """Caller-side view of a submitted request."""
+
+    def __init__(self, request: UserRequest, estimated_fidelity: float = 0.0):
+        self.request = request
+        self.status = RequestStatus.QUEUED
+        self.delivered: list[PairDelivery] = []
+        self.expired_count = 0
+        self.t_submitted: float = 0.0
+        self.t_started: Optional[float] = None
+        self.t_completed: Optional[float] = None
+        self.estimated_fidelity = estimated_fidelity
+        self._listeners: list = []
+
+    @property
+    def request_id(self) -> str:
+        return self.request.request_id
+
+    @property
+    def latency(self) -> Optional[float]:
+        """Submission-to-completion latency in ns (None until complete)."""
+        if self.t_completed is None:
+            return None
+        return self.t_completed - self.t_submitted
+
+    def on_delivery(self, callback) -> None:
+        """Register a callback invoked with each :class:`PairDelivery`."""
+        self._listeners.append(callback)
+
+    def _notify(self, delivery: PairDelivery) -> None:
+        self.delivered.append(delivery)
+        for listener in list(self._listeners):
+            listener(delivery)

@@ -1,0 +1,24 @@
+"""NV-centre hardware and fibre models (Appendix B / Tables 1–2)."""
+
+from .fibre import FibreSegment, HeraldedConnection
+from .heralded import MAX_ALPHA, MIN_ALPHA, LinkSample, SingleClickModel
+from .memory import apply_memory_noise, apply_pair_noise, stamp
+from .nv import NVDevice
+from .parameters import GateParams, HardwareParams, NEAR_TERM, SIMULATION
+
+__all__ = [
+    "GateParams",
+    "HardwareParams",
+    "SIMULATION",
+    "NEAR_TERM",
+    "FibreSegment",
+    "HeraldedConnection",
+    "SingleClickModel",
+    "LinkSample",
+    "MIN_ALPHA",
+    "MAX_ALPHA",
+    "NVDevice",
+    "apply_memory_noise",
+    "apply_pair_noise",
+    "stamp",
+]

@@ -1,0 +1,145 @@
+"""Hardware parameter sets — Tables 1 and 2 of the paper.
+
+Two presets are provided:
+
+* :data:`SIMULATION` — the optimistic configuration used for all experiments
+  except Fig 11 ("parameters that are slightly better than currently
+  achievable ... chosen to produce higher fidelities but retain rates
+  comparable to current hardware").
+* :data:`NEAR_TERM` — the near-future configuration of Fig 11, based on the
+  published NV-centre experiments the paper cites.
+
+The exact table values are reproduced; the test-suite asserts them against
+the paper so any drift is caught.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from ..netsim.units import US, NS, S, MINUTE
+
+
+@dataclass(frozen=True)
+class GateParams:
+    """Quantum gate parameters (Table 1). Durations in ns."""
+
+    electron_single_qubit_fidelity: float = 1.0
+    electron_single_qubit_duration: float = 5 * NS
+    two_qubit_gate_fidelity: float = 0.998
+    two_qubit_gate_duration: float = 500 * US
+    carbon_rot_z_fidelity: float = 1.0
+    carbon_rot_z_duration: float = 20 * US
+    electron_init_fidelity: float = 0.99
+    electron_init_duration: float = 2 * US
+    carbon_init_fidelity: float = 0.95
+    carbon_init_duration: float = 300 * US
+    electron_readout_fidelity0: float = 0.998
+    electron_readout_fidelity1: float = 0.998
+    electron_readout_duration: float = 3.7 * US
+
+    @property
+    def readout_error0(self) -> float:
+        """Probability of misreading |0⟩ as 1."""
+        return 1.0 - self.electron_readout_fidelity0
+
+    @property
+    def readout_error1(self) -> float:
+        """Probability of misreading |1⟩ as 0."""
+        return 1.0 - self.electron_readout_fidelity1
+
+    @property
+    def bsm_duration(self) -> float:
+        """Duration of a gate-based Bell-state measurement.
+
+        A BSM on this platform is a two-qubit gate followed by two
+        (sequential) electron readouts.
+        """
+        return self.two_qubit_gate_duration + 2 * self.electron_readout_duration
+
+
+@dataclass(frozen=True)
+class HardwareParams:
+    """Full node + optics parameter set (Tables 1 and 2)."""
+
+    name: str = "simulation"
+    gates: GateParams = GateParams()
+
+    # --- memory lifetimes (Table 2), ns ---
+    electron_t1: float = 3600 * S          # ">1 h"
+    electron_t2: float = 60 * S
+    carbon_t1: float = 6 * MINUTE          # "> 6 m" (near-term only)
+    carbon_t2: float = 60 * S
+
+    # --- photonics (Table 2) ---
+    #: Nuclear-spin precession frequency (rad/ns) — drives dephasing of
+    #: storage qubits during entanglement attempts (near-term model).
+    delta_omega: float = 0.0
+    #: NV excited-state decay time constant τ_d (ns).
+    tau_d: float = 82.0
+    #: Detection window τ_w (ns).
+    tau_w: float = 25.0
+    #: Photon emission time constant τ_e (ns).
+    tau_e: float = 6.0
+    #: Optical phase uncertainty Δφ (radians).
+    delta_phi: float = math.radians(2.0)
+    p_double_excitation: float = 0.0
+    p_zero_phonon: float = 0.75
+    collection_efficiency: float = 20.0e-3
+    dark_count_rate: float = 20.0 / S      # per ns
+    p_detection: float = 0.8
+    visibility: float = 1.0
+
+    # --- modelling knobs (documented in DESIGN.md) ---
+    #: Fixed sequence overhead added to every entanglement attempt cycle
+    #: (phase stabilisation, charge resonance checks).  Calibrated so a
+    #: fidelity-0.95 pair over 2 m takes ~10 ms on average (paper Fig 5).
+    attempt_overhead: float = 8.5 * US
+    #: Probability that one entanglement attempt phase-flips a co-located
+    #: storage (carbon) qubit — the nuclear dephasing mechanism of
+    #: Kalb et al. [44]; zero in the simplified simulation model.
+    nuclear_dephasing_per_attempt: float = 0.0
+    #: Number of communication qubits available per attached link
+    #: (the paper's simplification: "two per link (not shared between links)").
+    comm_qubits_per_link: int = 2
+    #: Number of storage (carbon) qubits; only the near-term model uses them.
+    storage_qubits: int = 0
+    #: Whether the device can run entanglement generation on more than one
+    #: link at a time (False for real NV hardware, True in the paper's
+    #: simplified simulation model).
+    parallel_links: bool = True
+
+    def with_t2(self, electron_t2: float) -> "HardwareParams":
+        """Copy with a different electron dephasing time (Fig 10 sweeps)."""
+        return replace(self, electron_t2=electron_t2)
+
+    def dark_count_probability(self) -> float:
+        """Probability of a dark count within one detection window."""
+        return 1.0 - math.exp(-self.dark_count_rate * self.tau_w)
+
+
+#: Optimistic configuration (Tables 1 & 2, "Simulation" column).
+SIMULATION = HardwareParams()
+
+#: Near-term configuration (Tables 1 & 2, "Near-term (Fig 11)" column).
+NEAR_TERM = HardwareParams(
+    name="near-term",
+    gates=GateParams(
+        two_qubit_gate_fidelity=0.992,
+        electron_readout_fidelity0=0.95,
+        electron_readout_fidelity1=0.995,
+    ),
+    electron_t2=1.46 * S,
+    delta_omega=2 * math.pi * 377e3 / S,   # 2π × 377 kHz, in rad/ns
+    tau_e=6.48,
+    delta_phi=math.radians(10.6),
+    p_double_excitation=0.04,
+    p_zero_phonon=0.46,
+    collection_efficiency=4.38e-3,
+    visibility=0.9,
+    nuclear_dephasing_per_attempt=2.5e-5,
+    comm_qubits_per_link=1,
+    storage_qubits=4,
+    parallel_links=False,
+)

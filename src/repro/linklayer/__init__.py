@@ -1,0 +1,13 @@
+"""Link layer: the entanglement generation service of ref [19]."""
+
+from .egp import Link
+from .scheduler import FairShareScheduler
+from .service import EntanglementId, LinkPairDelivery, LinkRequestState
+
+__all__ = [
+    "Link",
+    "FairShareScheduler",
+    "LinkPairDelivery",
+    "LinkRequestState",
+    "EntanglementId",
+]

@@ -1,0 +1,301 @@
+"""The entanglement generation protocol (EGP) — the link layer of ref [19].
+
+One :class:`Link` entity models a physical link *and* the link layer
+protocol running over it: the synchronised midpoint heralding process, the
+retry loop, request multiplexing and pair delivery at both ends.  (Ref [19]
+realises the two-ended coordination with a distributed queue; simulating
+the link as a single shared entity is behaviourally equivalent for a
+simulator that owns both ends, and is what the original artifacts do too.)
+
+Operation:
+
+* the QNP installs a **continuous generation request** per circuit, keyed
+  by the circuit's link-label (purpose ID), with a minimum fidelity (mapped
+  to the bright-state α) and a requested link-pair rate (the WRR weight);
+* the link serves one purpose at a time, in **time slices** of at most
+  ``slice_attempts`` entanglement attempts.  The number of attempts until
+  success is geometric, so the link fast-forwards: it samples the remaining
+  attempt count once per slice instead of simulating every attempt
+  (memorylessness makes this exact — see DESIGN.md);
+* each generation round needs a free communication-qubit slot at **both**
+  ends for the duration of the round; on success the pair parks in those
+  slots until the network layer consumes or discards it.  No free slot on
+  either side stalls the link — the congestion mechanism of Fig 8c;
+* on success both network layers receive a :class:`LinkPairDelivery` with
+  the same entanglement ID and Bell index (the midpoint herald tells both
+  sides which detector clicked);
+* in the near-term hardware model the round also reserves both endpoint
+  devices (single communication qubit) and every attempt dephases storage
+  qubits at both nodes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Optional
+
+from ..hardware.heralded import SingleClickModel
+from ..netsim.entity import Entity
+from ..netsim.scheduler import Simulator
+from ..network.arbiter import acquire_ordered, release_all
+from ..network.node import QuantumNode
+from ..network.qmm import Slot
+from ..quantum.operations import create_pair
+from .scheduler import FairShareScheduler
+from .service import LinkPairDelivery, LinkRequestState
+
+DeliveryHandler = Callable[[LinkPairDelivery], None]
+
+
+class Link(Entity):
+    """A physical link plus its link layer protocol instance."""
+
+    def __init__(self, sim: Simulator, name: str, node_a: QuantumNode,
+                 node_b: QuantumNode, model: SingleClickModel,
+                 slice_attempts: int = 100):
+        super().__init__(sim, name)
+        if slice_attempts < 1:
+            raise ValueError("slice_attempts must be at least 1")
+        self.node_a = node_a
+        self.node_b = node_b
+        self.model = model
+        self.slice_attempts = slice_attempts
+        self._handlers: dict[str, DeliveryHandler] = {}
+        self._requests: dict[str, LinkRequestState] = {}
+        self._pending_endorsements: dict[str, set] = {}
+        #: Scheduling hints: purposes that a neighbouring network layer
+        #: flagged as having an unmatched partner pair waiting (see
+        #: :meth:`set_priority`).  Each endpoint contributes its own set.
+        self._priorities: dict[str, set] = {}
+        self._scheduler = FairShareScheduler()
+        self._seq = itertools.count()
+        self._running = False
+        self._serialize = not (node_a.params.parallel_links
+                               and node_b.params.parallel_links)
+        # Statistics (benchmarks read these).
+        self.pairs_generated = 0
+        self.attempts_made = 0
+        self.busy_time = 0.0
+        for node in (node_a, node_b):
+            node.qmm.on_slot_freed(self._on_slot_freed)
+
+    # ------------------------------------------------------------------
+    # Service interface (network layer → link layer)
+    # ------------------------------------------------------------------
+
+    def register_handler(self, node_name: str, handler: DeliveryHandler) -> None:
+        """Register the network layer's pair receiver at one end."""
+        if node_name not in (self.node_a.name, self.node_b.name):
+            raise ValueError(f"{node_name} is not an endpoint of {self.name}")
+        self._handlers[node_name] = handler
+
+    def set_request(self, purpose_id: str, min_fidelity: float, lpr: float,
+                    endorser: Optional[str] = None) -> None:
+        """Install or update a continuous generation request.
+
+        ``min_fidelity`` selects the bright-state α (QoS property iv of
+        Sec 3.5); ``lpr`` (pairs/s) is the scheduling weight.  When
+        ``endorser`` is given, generation only starts once the *other*
+        endpoint has endorsed the purpose too (:meth:`endorse`) — mirroring
+        ref [19]'s two-ended distributed queue.  Without it the request is
+        immediately live (single-caller use).
+        """
+        alpha = self.model.alpha_for_fidelity(min_fidelity)
+        existing = self._requests.get(purpose_id)
+        if existing is not None and existing.active:
+            existing.min_fidelity = min_fidelity
+            existing.alpha = alpha
+            existing.lpr = lpr
+            if endorser is not None and existing.endorsers is not None:
+                existing.endorsers.add(endorser)
+            self._scheduler.update_weight(purpose_id, lpr)
+        else:
+            state = LinkRequestState(
+                purpose_id=purpose_id, min_fidelity=min_fidelity,
+                alpha=alpha, lpr=lpr,
+                endorsers=None if endorser is None else {endorser})
+            pending = self._pending_endorsements.pop(purpose_id, set())
+            if state.endorsers is not None:
+                state.endorsers |= pending
+            self._requests[purpose_id] = state
+            self._scheduler.add(purpose_id, lpr)
+        self._kick()
+
+    def endorse(self, purpose_id: str, node_name: str) -> None:
+        """Second-endpoint endorsement of a two-sided request."""
+        request = self._requests.get(purpose_id)
+        if request is None or not request.active:
+            self._pending_endorsements.setdefault(purpose_id, set()).add(node_name)
+            return
+        if request.endorsers is not None:
+            request.endorsers.add(node_name)
+        self._kick()
+
+    def end_request(self, purpose_id: str) -> None:
+        """Terminate a continuous generation request (COMPLETE handling)."""
+        self._pending_endorsements.pop(purpose_id, None)
+        request = self._requests.pop(purpose_id, None)
+        if request is not None:
+            request.active = False
+            self._scheduler.remove(purpose_id)
+
+    def has_request(self, purpose_id: str) -> bool:
+        return purpose_id in self._requests
+
+    def set_priority(self, purpose_id: str, node_name: str,
+                     boosted: bool) -> None:
+        """Scheduling hint from one endpoint's network layer.
+
+        A boosted purpose is served before non-boosted ones: the flagging
+        node holds an unmatched pair for that circuit on its *other* link,
+        so a pair produced here can be swapped immediately instead of
+        decaying in memory.  This implements the "improved scheduling at
+        the nodes" the paper points to as the fix for the Fig 8c congestion
+        collapse (Sec 5.1); it is off by default and exercised by the
+        scheduling ablation bench.
+        """
+        flaggers = self._priorities.setdefault(purpose_id, set())
+        if boosted:
+            flaggers.add(node_name)
+        else:
+            flaggers.discard(node_name)
+        if boosted:
+            self._kick()
+
+    def _boosted(self, purpose_id: str) -> bool:
+        return bool(self._priorities.get(purpose_id))
+
+    # ------------------------------------------------------------------
+    # Capacity estimates (used by the routing protocol)
+    # ------------------------------------------------------------------
+
+    def max_lpr(self, min_fidelity: float) -> float:
+        """Achievable pairs/s at a given fidelity with the whole link."""
+        alpha = self.model.alpha_for_fidelity(min_fidelity)
+        return 1e9 / self.model.expected_pair_time(alpha)
+
+    def generation_quantile(self, min_fidelity: float, quantile: float) -> float:
+        """Time (ns) by which a pair exists with the given probability."""
+        alpha = self.model.alpha_for_fidelity(min_fidelity)
+        return self.model.time_quantile(alpha, quantile)
+
+    # ------------------------------------------------------------------
+    # Generation loop
+    # ------------------------------------------------------------------
+
+    def _on_slot_freed(self, pool_name: str) -> None:
+        if pool_name == self.name:
+            self._kick()
+
+    def _kick(self) -> None:
+        if not self._running:
+            self._try_start_round()
+
+    def _eligible_purposes(self) -> list[str]:
+        return [purpose_id for purpose_id, request in self._requests.items()
+                if request.active and request.fully_endorsed()]
+
+    def _slots_free(self) -> bool:
+        return (self.node_a.qmm.free_comm(self.name) > 0
+                and self.node_b.qmm.free_comm(self.name) > 0)
+
+    def _try_start_round(self) -> None:
+        eligible = self._eligible_purposes()
+        if not eligible or not self._slots_free():
+            return
+        boosted = [purpose_id for purpose_id in eligible
+                   if self._boosted(purpose_id)]
+        purpose_id = self._scheduler.pick(boosted or eligible)
+        if purpose_id is None:
+            return
+        slot_a = self.node_a.qmm.try_acquire_comm(self.name)
+        slot_b = self.node_b.qmm.try_acquire_comm(self.name)
+        if slot_a is None or slot_b is None:  # pragma: no cover - guarded above
+            if slot_a:
+                slot_a.release()
+            if slot_b:
+                slot_b.release()
+            return
+        self._running = True
+        arbiters = [self.node_a.arbiter, self.node_b.arbiter] if self._serialize else []
+        if arbiters:
+            acquire_ordered(arbiters, lambda: self._run_round(purpose_id, slot_a,
+                                                              slot_b, arbiters))
+        else:
+            self._run_round(purpose_id, slot_a, slot_b, arbiters)
+
+    def _run_round(self, purpose_id: str, slot_a: Slot, slot_b: Slot,
+                   arbiters: list) -> None:
+        request = self._requests.get(purpose_id)
+        if request is None or not request.active:
+            # Request ended while we waited for the device.
+            self._abort_round(slot_a, slot_b, arbiters)
+            return
+        attempts_needed = self.model.sample_attempts(request.alpha, self.sim.rng)
+        burst = min(attempts_needed, self.slice_attempts)
+        success = attempts_needed <= self.slice_attempts
+        duration = burst * self.model.cycle_time
+        self.call_in(duration, self._finish_round, request, burst, success,
+                     slot_a, slot_b, arbiters)
+
+    def _abort_round(self, slot_a: Slot, slot_b: Slot, arbiters: list) -> None:
+        slot_a.release()
+        slot_b.release()
+        if arbiters:
+            release_all(arbiters)
+        self._running = False
+        self._kick()
+
+    def _finish_round(self, request: LinkRequestState, burst: int, success: bool,
+                      slot_a: Slot, slot_b: Slot, arbiters: list) -> None:
+        self.attempts_made += burst
+        self.busy_time += burst * self.model.cycle_time
+        self.node_a.device.charge_attempt_noise(burst)
+        self.node_b.device.charge_attempt_noise(burst)
+        if request.purpose_id in self._scheduler:
+            self._scheduler.charge(request.purpose_id, burst * self.model.cycle_time)
+        if success and request.active:
+            self._deliver_pair(request, slot_a, slot_b)
+        else:
+            slot_a.release()
+            slot_b.release()
+        if arbiters:
+            release_all(arbiters)
+        self._running = False
+        self._kick()
+
+    def _deliver_pair(self, request: LinkRequestState, slot_a: Slot,
+                      slot_b: Slot) -> None:
+        sample_index = self.sim.rng.random()
+        from ..quantum.bell import BellIndex
+
+        bell_index = BellIndex.PSI_PLUS if sample_index < 0.5 else BellIndex.PSI_MINUS
+        dm = self.model.produced_dm(request.alpha, bell_index)
+        correlator = (self.name, next(self._seq))
+        qubit_a, qubit_b = create_pair(
+            dm,
+            name_a=f"{self.name}:{correlator[1]}@{self.node_a.name}",
+            name_b=f"{self.name}:{correlator[1]}@{self.node_b.name}")
+        self.node_a.device.adopt_comm_qubit(qubit_a)
+        self.node_b.device.adopt_comm_qubit(qubit_b)
+        slot_a.commit(qubit_a, correlator)
+        slot_b.commit(qubit_b, correlator)
+        self.node_a.qmm.bind(correlator, qubit_a)
+        self.node_b.qmm.bind(correlator, qubit_b)
+        goodness = self.model.fidelity(request.alpha)
+        request.pairs_delivered += 1
+        self.pairs_generated += 1
+        for node, qubit in ((self.node_a, qubit_a), (self.node_b, qubit_b)):
+            handler = self._handlers.get(node.name)
+            if handler is None:
+                raise RuntimeError(
+                    f"{self.name}: no delivery handler registered at {node.name}")
+            handler(LinkPairDelivery(
+                link_name=self.name,
+                purpose_id=request.purpose_id,
+                entanglement_id=correlator,
+                bell_index=bell_index,
+                qubit=qubit,
+                goodness=goodness,
+                t_create=self.now,
+            ))

@@ -1,0 +1,62 @@
+"""Link layer service interface (Sec 3.5).
+
+The network layer needs exactly four properties from the link layer:
+
+(i)   a link-unique request identifier (*purpose ID* — the QNP uses the
+      circuit's link-label),
+(ii)  a per-pair *entanglement ID* unique within the request's link,
+(iii) the Bell state the pair was delivered in,
+(iv)  quality-of-service parameters: minimum fidelity and rate.
+
+:class:`LinkPairDelivery` carries (ii) and (iii) plus the local qubit handle
+and a goodness estimate; requests are expressed through
+:meth:`repro.linklayer.egp.Link.set_request` with (i) and (iv).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..quantum.bell import BellIndex
+from ..quantum.qubit import Qubit
+
+#: Entanglement ID: unique within a link — (link name, sequence number).
+EntanglementId = tuple
+
+
+@dataclass
+class LinkPairDelivery:
+    """One half of a link pair, delivered to the network layer at one node."""
+
+    link_name: str
+    purpose_id: str
+    entanglement_id: EntanglementId
+    bell_index: BellIndex
+    qubit: Qubit
+    #: Link layer's estimate of the produced fidelity (the "goodness" field
+    #: of ref [19]).
+    goodness: float
+    #: Simulated time at which the pair was heralded.
+    t_create: float
+
+
+@dataclass
+class LinkRequestState:
+    """Internal per-purpose state of the EGP."""
+
+    purpose_id: str
+    min_fidelity: float
+    alpha: float
+    #: Requested link-pair rate (pairs/s) — the WRR weight.
+    lpr: float
+    active: bool = True
+    pairs_delivered: int = field(default=0)
+    #: Node names that have endorsed this request.  Generation only starts
+    #: once both endpoints have (ref [19]'s distributed queue synchronises
+    #: the two ends the same way); ``None`` marks a single-caller request
+    #: that needs no second endorsement.
+    endorsers: Optional[set] = None
+
+    def fully_endorsed(self) -> bool:
+        return self.endorsers is None or len(self.endorsers) >= 2

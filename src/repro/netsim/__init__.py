@@ -1,0 +1,50 @@
+"""Discrete-event simulation kernel: the NetSquid substitute.
+
+Public API:
+
+* :class:`Simulator` — the event loop,
+* :class:`Entity` — base class for protocol machines and hardware models,
+* :class:`Timer` / :class:`PeriodicTimer` — cancellable timers,
+* :class:`ClassicalChannel` / :class:`LossyChannel` — classical links,
+* time constants (``NS``, ``US``, ``MS``, ``S``) and fibre helpers.
+"""
+
+from .channels import ChannelEnd, ClassicalChannel, LossyChannel
+from .entity import Entity
+from .scheduler import EventHandle, Simulator
+from .timers import PeriodicTimer, Timer
+from .units import (
+    FIBRE_DELAY_NS_PER_KM,
+    LAB_WAVELENGTH_ATTENUATION_DB_PER_KM,
+    MINUTE,
+    MS,
+    NS,
+    S,
+    TELECOM_ATTENUATION_DB_PER_KM,
+    US,
+    db_to_transmissivity,
+    fibre_delay,
+    fibre_transmissivity,
+)
+
+__all__ = [
+    "Simulator",
+    "EventHandle",
+    "Entity",
+    "Timer",
+    "PeriodicTimer",
+    "ClassicalChannel",
+    "LossyChannel",
+    "ChannelEnd",
+    "NS",
+    "US",
+    "MS",
+    "S",
+    "MINUTE",
+    "FIBRE_DELAY_NS_PER_KM",
+    "LAB_WAVELENGTH_ATTENUATION_DB_PER_KM",
+    "TELECOM_ATTENUATION_DB_PER_KM",
+    "fibre_delay",
+    "fibre_transmissivity",
+    "db_to_transmissivity",
+]

@@ -1,0 +1,129 @@
+"""Classical message channels.
+
+All control traffic in a quantum network travels over ordinary classical
+links (Fig 1 of the paper).  The paper assumes a reliable, in-order transport
+(TCP) on top of fibre with speed-of-light delay, and — for Fig 10c — injects
+an artificial *processing delay* between a message being sent and it being
+processed at the next node.  :class:`ClassicalChannel` models exactly that.
+
+Delivery order: for a fixed per-message delay the FIFO tie-break of the event
+queue preserves ordering.  When the processing delay is changed mid-run the
+channel still enforces in-order delivery by never letting a message overtake
+an earlier one (like a TCP stream would).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from .entity import Entity
+from .scheduler import Simulator
+from .units import fibre_delay
+
+
+class ChannelEnd:
+    """One endpoint of a bidirectional classical channel."""
+
+    def __init__(self, channel: "ClassicalChannel", index: int):
+        self._channel = channel
+        self._index = index
+        self._receiver: Optional[Callable[[Any], None]] = None
+
+    def connect(self, receiver: Callable[[Any], None]) -> None:
+        """Register the callback invoked for every delivered message."""
+        self._receiver = receiver
+
+    def send(self, message: Any) -> None:
+        """Send ``message`` to the opposite endpoint."""
+        self._channel._transmit(self._index, message)
+
+    def _deliver(self, message: Any) -> None:
+        if self._receiver is None:
+            raise RuntimeError(
+                f"channel {self._channel.name!r} end {self._index} has no receiver")
+        self._receiver(message)
+
+
+class ClassicalChannel(Entity):
+    """Reliable, in-order, bidirectional classical channel.
+
+    Parameters
+    ----------
+    sim:
+        The simulator.
+    length_km:
+        Fibre length; sets the propagation delay.
+    processing_delay:
+        Extra delay (ns) added to every message, modelling protocol stack
+        processing at the receiving node.  This is the knob turned in the
+        paper's Fig 10c.
+    name:
+        Diagnostic name.
+    """
+
+    def __init__(self, sim: Simulator, length_km: float = 0.0,
+                 processing_delay: float = 0.0, name: str = ""):
+        super().__init__(sim, name or f"cchannel({length_km}km)")
+        self.length_km = length_km
+        self.processing_delay = processing_delay
+        self.ends = (ChannelEnd(self, 0), ChannelEnd(self, 1))
+        # Earliest allowed delivery time per direction, to preserve FIFO
+        # ordering when the processing delay shrinks mid-run.
+        self._last_delivery = [0.0, 0.0]
+        self.messages_sent = 0
+        #: Failure injection: a cut channel silently drops everything.
+        self.is_cut = False
+
+    @property
+    def propagation_delay(self) -> float:
+        """One-way propagation delay in ns."""
+        return fibre_delay(self.length_km)
+
+    def total_delay(self) -> float:
+        """Current end-to-end per-message delay in ns."""
+        return self.propagation_delay + self.processing_delay
+
+    def cut(self) -> None:
+        """Sever the channel (fibre cut): all traffic is dropped until
+        :meth:`restore`.  Used for failure-injection tests and the liveness
+        mechanism of Sec 4.1."""
+        self.is_cut = True
+
+    def restore(self) -> None:
+        """Repair a cut channel."""
+        self.is_cut = False
+
+    def _transmit(self, from_index: int, message: Any) -> None:
+        if self.is_cut:
+            return
+        to_index = 1 - from_index
+        deliver_at = self.now + self.total_delay()
+        if deliver_at < self._last_delivery[to_index]:
+            deliver_at = self._last_delivery[to_index]
+        self._last_delivery[to_index] = deliver_at
+        self.messages_sent += 1
+        self.call_at(deliver_at, self.ends[to_index]._deliver, message)
+
+
+class LossyChannel(ClassicalChannel):
+    """A classical channel that can drop messages with a fixed probability.
+
+    The QNP itself assumes a reliable transport; this class exists so the
+    transport layer (:mod:`repro.control.transport`) has something real to
+    provide reliability *over*, and for failure-injection tests.
+    """
+
+    def __init__(self, sim: Simulator, length_km: float = 0.0,
+                 processing_delay: float = 0.0, loss_probability: float = 0.0,
+                 name: str = ""):
+        super().__init__(sim, length_km, processing_delay, name)
+        if not 0.0 <= loss_probability < 1.0:
+            raise ValueError("loss probability must be in [0, 1)")
+        self.loss_probability = loss_probability
+        self.messages_dropped = 0
+
+    def _transmit(self, from_index: int, message: Any) -> None:
+        if self.sim.rng.random() < self.loss_probability:
+            self.messages_dropped += 1
+            return
+        super()._transmit(from_index, message)

@@ -1,0 +1,98 @@
+"""Cancellable and restartable timers built on the event queue.
+
+The QNP uses one :class:`Timer` per stored qubit for the cutoff mechanism;
+timers need to be cheap to arm, cancel and re-arm.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from .scheduler import EventHandle, Simulator
+
+
+class Timer:
+    """A single-shot timer that can be cancelled or restarted.
+
+    ``callback`` is invoked with ``*args`` when the timer expires.  Restarting
+    an armed timer cancels the previous deadline.
+    """
+
+    def __init__(self, sim: Simulator, callback: Callable[..., Any], *args: Any):
+        self._sim = sim
+        self._callback = callback
+        self._args = args
+        self._handle: Optional[EventHandle] = None
+        self.deadline: Optional[float] = None
+
+    @property
+    def armed(self) -> bool:
+        """Whether the timer has a pending deadline."""
+        return self._handle is not None and self._handle.active
+
+    def start(self, delay: float) -> None:
+        """Arm (or re-arm) the timer to fire ``delay`` ns from now."""
+        self.cancel()
+        self.deadline = self._sim.now + delay
+        self._handle = self._sim.schedule(delay, self._fire)
+
+    def start_at(self, deadline: float) -> None:
+        """Arm (or re-arm) the timer to fire at an absolute time."""
+        self.cancel()
+        self.deadline = deadline
+        self._handle = self._sim.schedule_at(deadline, self._fire)
+
+    def cancel(self) -> None:
+        """Disarm the timer if armed."""
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+        self.deadline = None
+
+    def remaining(self) -> Optional[float]:
+        """Time left until expiry, or ``None`` when disarmed."""
+        if not self.armed or self.deadline is None:
+            return None
+        return max(0.0, self.deadline - self._sim.now)
+
+    def _fire(self) -> None:
+        self._handle = None
+        self.deadline = None
+        self._callback(*self._args)
+
+
+class PeriodicTimer:
+    """Fires ``callback`` every ``period`` ns until stopped."""
+
+    def __init__(self, sim: Simulator, period: float, callback: Callable[[], Any]):
+        if period <= 0:
+            raise ValueError("period must be positive")
+        self._sim = sim
+        self.period = period
+        self._callback = callback
+        self._handle: Optional[EventHandle] = None
+        self._running = False
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    def start(self) -> None:
+        """Start the periodic schedule; the first tick is one period away."""
+        if self._running:
+            return
+        self._running = True
+        self._handle = self._sim.schedule(self.period, self._tick)
+
+    def stop(self) -> None:
+        """Stop ticking."""
+        self._running = False
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        self._handle = self._sim.schedule(self.period, self._tick)
+        self._callback()

@@ -1,0 +1,52 @@
+"""Time and physical unit constants for the simulator.
+
+All simulated time is expressed in **nanoseconds** stored as floats, the same
+convention NetSquid uses.  The constants below make call sites readable::
+
+    sim.schedule(10 * MS, handler)
+
+Fibre constants follow Appendix B of the paper: photons travel at roughly
+two-thirds of the vacuum speed of light in standard telecom fibre, and
+attenuation is 5 dB/km at the NV emission wavelength (lab scenario) or
+0.5 dB/km after conversion to telecom wavelength (long-distance scenario).
+"""
+
+from __future__ import annotations
+
+#: One nanosecond (the base unit).
+NS = 1.0
+#: One microsecond in nanoseconds.
+US = 1e3
+#: One millisecond in nanoseconds.
+MS = 1e6
+#: One second in nanoseconds.
+S = 1e9
+#: One minute in nanoseconds.
+MINUTE = 60 * S
+
+#: Speed of light in fibre, in kilometres per second (~2/3 c).
+FIBRE_LIGHT_SPEED_KM_PER_S = 200_000.0
+
+#: Propagation delay per kilometre of fibre, in nanoseconds.
+FIBRE_DELAY_NS_PER_KM = S / FIBRE_LIGHT_SPEED_KM_PER_S
+
+#: Attenuation of NV-wavelength photons in standard fibre (dB/km).
+LAB_WAVELENGTH_ATTENUATION_DB_PER_KM = 5.0
+
+#: Attenuation after frequency conversion to telecom wavelength (dB/km).
+TELECOM_ATTENUATION_DB_PER_KM = 0.5
+
+
+def fibre_delay(length_km: float) -> float:
+    """Propagation delay in ns for a fibre of ``length_km`` kilometres."""
+    return length_km * FIBRE_DELAY_NS_PER_KM
+
+
+def db_to_transmissivity(loss_db: float) -> float:
+    """Convert a loss figure in dB into a transmission probability."""
+    return 10.0 ** (-loss_db / 10.0)
+
+
+def fibre_transmissivity(length_km: float, attenuation_db_per_km: float) -> float:
+    """Probability that a photon survives ``length_km`` of fibre."""
+    return db_to_transmissivity(length_km * attenuation_db_per_km)

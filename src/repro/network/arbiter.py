@@ -1,0 +1,86 @@
+"""Quantum task scheduler / device-time arbiter (Fig 4).
+
+Current NV hardware cannot do two things at once: the electron spin is both
+the processor and the network interface.  In the paper's simplified
+simulation model all qubits act as communication qubits and links run in
+parallel, so the arbiter grants everything immediately.  In the near-term
+model (Sec 5.3) the arbiter serialises device usage: entanglement
+generation bursts, storage moves and Bell-state measurements queue FIFO.
+
+To reserve several devices at once (a link needs both endpoints) callers
+acquire in a globally consistent order (node name), which rules out
+deadlock.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+from ..netsim.entity import Entity
+from ..netsim.scheduler import Simulator
+
+
+class DeviceArbiter(Entity):
+    """FIFO arbiter for one node's quantum device time."""
+
+    def __init__(self, sim: Simulator, name: str = "", serialize: bool = False):
+        super().__init__(sim, name or "arbiter")
+        self.serialize = serialize
+        self._busy = False
+        self._waiters: deque[Callable[[], None]] = deque()
+
+    @property
+    def busy(self) -> bool:
+        return self._busy
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+    def acquire(self, on_grant: Callable[[], None]) -> None:
+        """Request the device; ``on_grant`` fires (via the event queue) when
+        it is ours.  In parallel mode the grant is immediate."""
+        if not self.serialize:
+            self.call_in(0.0, on_grant)
+            return
+        if not self._busy:
+            self._busy = True
+            self.call_in(0.0, on_grant)
+        else:
+            self._waiters.append(on_grant)
+
+    def release(self) -> None:
+        """Give the device back; the next waiter (if any) is granted."""
+        if not self.serialize:
+            return
+        if not self._busy:
+            raise RuntimeError(f"{self.name}: release without acquire")
+        if self._waiters:
+            next_grant = self._waiters.popleft()
+            self.call_in(0.0, next_grant)
+        else:
+            self._busy = False
+
+
+def acquire_ordered(arbiters: list[DeviceArbiter], on_all_granted: Callable[[], None]) -> None:
+    """Acquire several devices in a canonical order, then fire the callback.
+
+    Ordering by arbiter name makes concurrent multi-device reservations
+    deadlock-free (resource-ordering discipline).
+    """
+    ordered = sorted(arbiters, key=lambda a: a.name)
+
+    def grab(index: int) -> None:
+        if index == len(ordered):
+            on_all_granted()
+            return
+        ordered[index].acquire(lambda: grab(index + 1))
+
+    grab(0)
+
+
+def release_all(arbiters: list[DeviceArbiter]) -> None:
+    """Release a set of devices acquired with :func:`acquire_ordered`."""
+    for arbiter in arbiters:
+        arbiter.release()

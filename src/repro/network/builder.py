@@ -1,0 +1,391 @@
+"""Topology construction and the user-facing :class:`Network` façade.
+
+Builds the evaluation networks of the paper:
+
+* :func:`build_dumbbell_network` — the Fig 7 six-node topology with the
+  MA–MB bottleneck link and four end-nodes (A0, A1, B0, B1),
+* :func:`build_chain_network` — linear repeater chains,
+* :func:`build_near_term_chain` — the Fig 11 three-node, 25 km chain on
+  near-term hardware.
+
+The façade wraps circuit establishment (routing + signalling), request
+submission (with both end-points wired up), simulation driving, the
+Fig 10c classical-message-delay knob, and the evaluation-side fidelity
+oracle used by the paper's "simpler protocol" baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import networkx as nx
+
+from ..control.liveness import LivenessAgent
+from ..control.routing import CentralController, RouteComputation
+from ..control.signalling import SignallingAgent, allocate_circuit_id
+from ..core.qnp import QNPNode
+from ..core.requests import (
+    DeliveryStatus,
+    PairDelivery,
+    RequestHandle,
+    RequestStatus,
+    UserRequest,
+)
+from ..hardware.fibre import HeraldedConnection
+from ..hardware.heralded import SingleClickModel
+from ..hardware.parameters import HardwareParams, NEAR_TERM, SIMULATION
+from ..linklayer.egp import Link
+from ..netsim.channels import ClassicalChannel
+from ..netsim.scheduler import Simulator
+from ..netsim.units import (
+    LAB_WAVELENGTH_ATTENUATION_DB_PER_KM,
+    S,
+    TELECOM_ATTENUATION_DB_PER_KM,
+)
+from ..quantum.fidelity import pair_fidelity
+from ..quantum.operations import NoisyOpParams
+from .node import QuantumNode
+
+
+@dataclass
+class MatchedPair:
+    """Evaluation-side record of one end-to-end pair seen at both ends."""
+
+    pair_id: tuple
+    head_delivery: PairDelivery
+    tail_delivery: PairDelivery
+    #: Ground-truth fidelity read from the simulation (oracle only).
+    fidelity: Optional[float] = None
+    accepted: bool = True
+
+
+@dataclass
+class _Submission:
+    handle: RequestHandle
+    tail_deliveries: list = field(default_factory=list)
+    matched: list = field(default_factory=list)
+    oracle_min_fidelity: Optional[float] = None
+    record_fidelity: bool = False
+    _pending: dict = field(default_factory=dict)
+
+
+class Network:
+    """A fully wired quantum network plus control plane."""
+
+    def __init__(self, sim: Simulator, params: HardwareParams):
+        self.sim = sim
+        self.params = params
+        self.nodes: dict[str, QuantumNode] = {}
+        self.links: dict[frozenset, Link] = {}
+        self.channels: list[ClassicalChannel] = []
+        self.qnps: dict[str, QNPNode] = {}
+        self.signalling: dict[str, SignallingAgent] = {}
+        self.liveness: dict[str, LivenessAgent] = {}
+        self.controller: Optional[CentralController] = None
+        self._graph = nx.Graph()
+        self._circuit_meta: dict[str, dict] = {}
+        self._submissions: list[_Submission] = []
+        self._identifier_counter = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def add_node(self, name: str) -> QuantumNode:
+        node = QuantumNode(self.sim, name, self.params)
+        self.nodes[name] = node
+        self.qnps[name] = QNPNode(node)
+        self.signalling[name] = SignallingAgent(node)
+        self.liveness[name] = LivenessAgent(node)
+        self._graph.add_node(name)
+        return node
+
+    def connect(self, name_a: str, name_b: str, length_km: float,
+                attenuation: float = LAB_WAVELENGTH_ATTENUATION_DB_PER_KM,
+                slice_attempts: int = 100) -> Link:
+        node_a, node_b = self.nodes[name_a], self.nodes[name_b]
+        connection = HeraldedConnection.symmetric(length_km, attenuation)
+        model = SingleClickModel(self.params, connection)
+        link = Link(self.sim, f"{name_a}~{name_b}", node_a, node_b, model,
+                    slice_attempts)
+        node_a.attach_link(link, name_b)
+        node_b.attach_link(link, name_a)
+        channel = ClassicalChannel(self.sim, length_km,
+                                   name=f"c:{name_a}~{name_b}")
+        node_a.attach_channel(name_b, channel.ends[0])
+        node_b.attach_channel(name_a, channel.ends[1])
+        self.channels.append(channel)
+        self.links[frozenset((name_a, name_b))] = link
+        self._graph.add_edge(name_a, name_b)
+        return link
+
+    def finalise(self) -> None:
+        """Create the central controller once the topology is complete."""
+        device_ops = NoisyOpParams(
+            two_qubit_gate_fidelity=self.params.gates.two_qubit_gate_fidelity,
+            single_qubit_gate_fidelity=self.params.gates.electron_single_qubit_fidelity,
+            readout_error0=self.params.gates.readout_error0,
+            readout_error1=self.params.gates.readout_error1,
+        )
+        self.controller = CentralController(
+            self._graph, self.links,
+            memory_t1=self.params.electron_t1,
+            memory_t2=self.params.electron_t2,
+            ops=device_ops,
+        )
+
+    # ------------------------------------------------------------------
+    # Control plane operations
+    # ------------------------------------------------------------------
+
+    def establish_circuit(self, head: str, tail: str, target_fidelity: float,
+                          cutoff_policy="loss",
+                          max_eer: Optional[float] = None) -> str:
+        """Route, signal and install a virtual circuit; returns its ID.
+
+        Drives the simulation until the RESV confirms installation (the
+        handshake takes a few propagation delays).
+        """
+        if self.controller is None:
+            self.finalise()
+        route = self.controller.compute_route(head, tail, target_fidelity,
+                                              cutoff_policy)
+        return self._install(route, max_eer)
+
+    def establish_circuit_manual(self, path: list[str], link_fidelity: float,
+                                 cutoff: Optional[float],
+                                 max_eer: float = 1.0,
+                                 estimated_fidelity: float = 0.0) -> str:
+        """Manually populated routing tables (the Fig 11 workflow)."""
+        if self.controller is None:
+            self.finalise()
+        link_names = []
+        for i in range(len(path) - 1):
+            link_names.append(self.links[frozenset((path[i], path[i + 1]))].name)
+        max_lpr = min(self.links[frozenset((path[i], path[i + 1]))]
+                      .max_lpr(link_fidelity) for i in range(len(path) - 1))
+        route = RouteComputation(
+            path=path, link_names=link_names, link_fidelity=link_fidelity,
+            cutoff=cutoff, max_lpr=max_lpr, eer=max_eer,
+            estimated_fidelity=estimated_fidelity,
+            target_fidelity=estimated_fidelity)
+        return self._install(route, max_eer)
+
+    def _install(self, route: RouteComputation, max_eer: Optional[float]) -> str:
+        circuit_id = allocate_circuit_id(route.path[0], route.path[-1])
+        entries = self.controller.build_entries(circuit_id, route, max_eer)
+        ready = []
+        self.signalling[route.path[0]].establish(entries,
+                                                 on_ready=ready.append)
+        guard = 0
+        while not ready:
+            guard += 1
+            if guard > 10_000 or self.sim.pending_events() == 0:
+                raise RuntimeError(f"circuit {circuit_id} installation stalled")
+            self._step()
+        self._circuit_meta[circuit_id] = {"route": route}
+        return circuit_id
+
+    def teardown_circuit(self, circuit_id: str) -> None:
+        meta = self._circuit_meta.pop(circuit_id, None)
+        if meta is None:
+            return
+        path = meta["route"].path
+        self.liveness[path[0]].unwatch(circuit_id)
+        self.signalling[path[0]].teardown(circuit_id, path)
+
+    def watch_circuit(self, circuit_id: str, interval_ms: float = 50.0,
+                      miss_limit: int = 3) -> None:
+        """Monitor a circuit's classical connectivity (Sec 4.1).
+
+        When the keepalive fails, the circuit is torn down from the
+        head-end and its active requests abort — applications observe
+        :attr:`RequestStatus.ABORTED` on their handles.
+        """
+        from ..netsim.units import MS
+
+        route = self.route_of(circuit_id)
+        head = route.path[0]
+        self.liveness[head].watch(
+            circuit_id, route.path, interval=interval_ms * MS,
+            miss_limit=miss_limit,
+            on_failure=lambda cid: self.teardown_circuit(cid))
+
+    def route_of(self, circuit_id: str) -> RouteComputation:
+        return self._circuit_meta[circuit_id]["route"]
+
+    # ------------------------------------------------------------------
+    # Requests
+    # ------------------------------------------------------------------
+
+    def submit(self, circuit_id: str, request: UserRequest,
+               oracle_min_fidelity: Optional[float] = None,
+               record_fidelity: bool = False) -> RequestHandle:
+        """Submit a request at a circuit's head-end.
+
+        ``record_fidelity`` matches head/tail deliveries and reads the
+        ground-truth pair fidelity from the simulation; this is for
+        evaluation only (the network cannot do it).  ``oracle_min_fidelity``
+        additionally marks pairs below the threshold as rejected — the
+        "simpler protocol" baseline of Fig 10.
+        """
+        route = self.route_of(circuit_id)
+        head, tail = route.path[0], route.path[-1]
+        head_id = self._next_identifier()
+        tail_id = self._next_identifier()
+        submission = _Submission(
+            handle=None,  # type: ignore[arg-type]
+            oracle_min_fidelity=oracle_min_fidelity,
+            record_fidelity=record_fidelity or oracle_min_fidelity is not None,
+        )
+        self.qnps[tail].register_application(
+            tail_id, lambda delivery: self._on_tail_delivery(submission, delivery))
+        handle = self.qnps[head].submit(circuit_id, request,
+                                        head_end_identifier=head_id,
+                                        tail_end_identifier=tail_id)
+        submission.handle = handle
+        handle.tail_deliveries = submission.tail_deliveries  # type: ignore[attr-defined]
+        handle.matched_pairs = submission.matched  # type: ignore[attr-defined]
+        handle.on_delivery(lambda delivery: self._on_head_delivery(submission,
+                                                                   delivery))
+        self._submissions.append(submission)
+        return handle
+
+    def _next_identifier(self) -> int:
+        self._identifier_counter += 1
+        return self._identifier_counter
+
+    def _on_head_delivery(self, submission: _Submission,
+                          delivery: PairDelivery) -> None:
+        if delivery.status != DeliveryStatus.CONFIRMED:
+            return
+        self._match(submission, delivery, is_head=True)
+
+    def _on_tail_delivery(self, submission: _Submission,
+                          delivery: PairDelivery) -> None:
+        submission.tail_deliveries.append(delivery)
+        if delivery.status != DeliveryStatus.CONFIRMED:
+            return
+        self._match(submission, delivery, is_head=False)
+
+    def _match(self, submission: _Submission, delivery: PairDelivery,
+               is_head: bool) -> None:
+        if not submission.record_fidelity:
+            return
+        other = submission._pending.pop((delivery.pair_id, not is_head), None)
+        if other is None:
+            submission._pending[(delivery.pair_id, is_head)] = delivery
+            return
+        head_delivery = delivery if is_head else other
+        tail_delivery = other if is_head else delivery
+        matched = MatchedPair(pair_id=delivery.pair_id,
+                              head_delivery=head_delivery,
+                              tail_delivery=tail_delivery)
+        if head_delivery.qubit is not None and tail_delivery.qubit is not None:
+            matched.fidelity = pair_fidelity(
+                head_delivery.qubit, tail_delivery.qubit,
+                int(head_delivery.bell_state))
+            if submission.oracle_min_fidelity is not None:
+                matched.accepted = matched.fidelity >= submission.oracle_min_fidelity
+            # Consume the pair so long runs do not accumulate state.
+            head_delivery.qubit.state.remove(head_delivery.qubit)
+            if tail_delivery.qubit.state is not None:
+                tail_delivery.qubit.state.remove(tail_delivery.qubit)
+        submission.matched.append(matched)
+
+    # ------------------------------------------------------------------
+    # Simulation driving and knobs
+    # ------------------------------------------------------------------
+
+    def run(self, until_s: Optional[float] = None) -> None:
+        """Run the simulation (``until_s`` in simulated seconds)."""
+        self.sim.run(until=None if until_s is None else until_s * S)
+
+    def run_until_complete(self, handles, timeout_s: float = 300.0) -> None:
+        """Run until all handles reach a terminal state (or timeout)."""
+        deadline = self.sim.now + timeout_s * S
+        terminal = (RequestStatus.COMPLETED, RequestStatus.REJECTED,
+                    RequestStatus.ABORTED)
+        while any(handle.status not in terminal for handle in handles):
+            if self.sim.now >= deadline or self.sim.pending_events() == 0:
+                break
+            self._step(limit=deadline)
+
+    def _step(self, limit: Optional[float] = None) -> None:
+        """Advance the simulation by one event batch."""
+        queue = self.sim._queue
+        while queue and queue[0].cancelled:
+            import heapq
+
+            heapq.heappop(queue)
+        if not queue:
+            return
+        target = queue[0].time
+        if limit is not None:
+            target = min(target, limit)
+        self.sim.run(until=target)
+
+    def set_message_delay(self, delay_ns: float) -> None:
+        """Add a processing delay to every classical channel (Fig 10c)."""
+        for channel in self.channels:
+            channel.processing_delay = delay_ns
+
+    # ------------------------------------------------------------------
+
+    def node(self, name: str) -> QuantumNode:
+        return self.nodes[name]
+
+    def link_between(self, name_a: str, name_b: str) -> Link:
+        return self.links[frozenset((name_a, name_b))]
+
+
+# ----------------------------------------------------------------------
+# Canonical topologies
+# ----------------------------------------------------------------------
+
+def build_chain_network(num_nodes: int, length_km: float = 0.002,
+                        params: HardwareParams = SIMULATION,
+                        seed: int = 0, slice_attempts: int = 100) -> Network:
+    """A linear chain node0 — node1 — … — node(n−1)."""
+    if num_nodes < 2:
+        raise ValueError("a chain needs at least two nodes")
+    net = Network(Simulator(seed=seed), params)
+    names = [f"node{i}" for i in range(num_nodes)]
+    for name in names:
+        net.add_node(name)
+    for left, right in zip(names, names[1:]):
+        net.connect(left, right, length_km, slice_attempts=slice_attempts)
+    net.finalise()
+    return net
+
+
+def build_dumbbell_network(length_km: float = 0.002,
+                           params: HardwareParams = SIMULATION,
+                           seed: int = 0, slice_attempts: int = 100) -> Network:
+    """The Fig 7 evaluation topology: A0,A1 — MA — MB — B0,B1."""
+    net = Network(Simulator(seed=seed), params)
+    for name in ("A0", "A1", "MA", "MB", "B0", "B1"):
+        net.add_node(name)
+    for pair in (("A0", "MA"), ("A1", "MA"), ("MA", "MB"),
+                 ("MB", "B0"), ("MB", "B1")):
+        net.connect(*pair, length_km, slice_attempts=slice_attempts)
+    net.finalise()
+    return net
+
+
+def build_near_term_chain(num_nodes: int = 3, length_km: float = 25.0,
+                          params: HardwareParams = NEAR_TERM,
+                          seed: int = 0, slice_attempts: int = 2000) -> Network:
+    """The Fig 11 scenario: a 25 km-spaced chain on near-term hardware
+    (telecom-converted photons, single communication qubit, storage)."""
+    net = Network(Simulator(seed=seed), params)
+    names = [f"node{i}" for i in range(num_nodes)]
+    for name in names:
+        net.add_node(name)
+    for left, right in zip(names, names[1:]):
+        net.connect(left, right, length_km,
+                    attenuation=TELECOM_ATTENUATION_DB_PER_KM,
+                    slice_attempts=slice_attempts)
+    net.finalise()
+    return net

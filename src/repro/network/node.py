@@ -1,0 +1,96 @@
+"""The quantum node: hardware + OS services + protocol attachment points.
+
+Mirrors Fig 4 of the paper: each node owns a quantum device, a quantum
+memory management unit, a task scheduler (device arbiter), classical
+channels to its neighbours, and the network stack (link layer endpoints and
+the QNP engine) that gets attached by the topology builder.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from ..hardware.nv import NVDevice
+from ..hardware.parameters import HardwareParams
+from ..netsim.channels import ChannelEnd
+from ..netsim.entity import Entity
+from ..netsim.scheduler import Simulator
+from .arbiter import DeviceArbiter
+from .qmm import QuantumMemoryManager
+
+
+class QuantumNode(Entity):
+    """One node of the quantum network."""
+
+    def __init__(self, sim: Simulator, name: str, params: HardwareParams):
+        super().__init__(sim, name)
+        self.params = params
+        self.device = NVDevice(sim, params, name=f"{name}.device")
+        self.qmm = QuantumMemoryManager(name)
+        self.arbiter = DeviceArbiter(sim, name=f"{name}.arbiter",
+                                     serialize=not params.parallel_links)
+        if params.storage_qubits:
+            self.qmm.configure_storage(params.storage_qubits)
+        #: Link-layer endpoints by link name (set by the builder).
+        self.links: dict[str, Any] = {}
+        #: Classical channel ends by neighbour node name.
+        self._channels: dict[str, ChannelEnd] = {}
+        #: Neighbour name per link name.
+        self.link_neighbour: dict[str, str] = {}
+        #: The QNP engine (attached by the builder).
+        self.qnp: Optional[Any] = None
+        #: Message dispatch: "kind" → handler(sender_name, message).
+        self._dispatch: dict[str, Callable[[str, Any], None]] = {}
+
+    # ------------------------------------------------------------------
+    # Links
+    # ------------------------------------------------------------------
+
+    def attach_link(self, link: Any, neighbour: str) -> None:
+        """Register a link endpoint and its comm-qubit pool."""
+        if link.name in self.links:
+            raise ValueError(f"{self.name}: link {link.name} already attached")
+        self.links[link.name] = link
+        self.link_neighbour[link.name] = neighbour
+        self.qmm.register_link(link.name, self.params.comm_qubits_per_link)
+
+    def link_to(self, neighbour: str) -> Any:
+        """The link object connecting this node to a neighbour."""
+        for link_name, other in self.link_neighbour.items():
+            if other == neighbour:
+                return self.links[link_name]
+        raise KeyError(f"{self.name}: no link to {neighbour}")
+
+    # ------------------------------------------------------------------
+    # Classical communication
+    # ------------------------------------------------------------------
+
+    def attach_channel(self, neighbour: str, end: ChannelEnd) -> None:
+        """Register the classical channel towards a neighbour."""
+        if neighbour in self._channels:
+            raise ValueError(f"{self.name}: channel to {neighbour} already attached")
+        self._channels[neighbour] = end
+        end.connect(lambda message: self._on_message(neighbour, message))
+
+    def send(self, neighbour: str, kind: str, payload: Any) -> None:
+        """Send a classical control message to a directly connected node."""
+        try:
+            end = self._channels[neighbour]
+        except KeyError:
+            raise KeyError(f"{self.name}: no classical channel to {neighbour}") from None
+        end.send((kind, self.name, payload))
+
+    def register_handler(self, kind: str, handler: Callable[[str, Any], None]) -> None:
+        """Register the receiver for a message kind (e.g. "qnp", "signalling")."""
+        self._dispatch[kind] = handler
+
+    def _on_message(self, neighbour: str, message: Any) -> None:
+        kind, sender, payload = message
+        handler = self._dispatch.get(kind)
+        if handler is None:
+            raise RuntimeError(f"{self.name}: no handler for message kind {kind!r}")
+        handler(sender, payload)
+
+    @property
+    def neighbours(self) -> list[str]:
+        return sorted(self._channels)

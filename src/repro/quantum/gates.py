@@ -1,0 +1,74 @@
+"""Standard gate matrices used by the quantum engine."""
+
+from __future__ import annotations
+
+import numpy as np
+
+I2 = np.eye(2, dtype=complex)
+X = np.array([[0, 1], [1, 0]], dtype=complex)
+Y = np.array([[0, -1j], [1j, 0]], dtype=complex)
+Z = np.array([[1, 0], [0, -1]], dtype=complex)
+H = np.array([[1, 1], [1, -1]], dtype=complex) / np.sqrt(2)
+S = np.array([[1, 0], [0, 1j]], dtype=complex)
+T = np.array([[1, 0], [0, np.exp(1j * np.pi / 4)]], dtype=complex)
+
+#: Pauli operators indexed by the packed two-bit Bell frame ``2*a + b``:
+#: ``X^b Z^a`` → [I, X, Z, XZ].
+PAULI_FRAME = (
+    I2,
+    X,
+    Z,
+    X @ Z,
+)
+
+CNOT = np.array(
+    [
+        [1, 0, 0, 0],
+        [0, 1, 0, 0],
+        [0, 0, 0, 1],
+        [0, 0, 1, 0],
+    ],
+    dtype=complex,
+)
+
+CZ = np.diag([1, 1, 1, -1]).astype(complex)
+
+SWAP_GATE = np.array(
+    [
+        [1, 0, 0, 0],
+        [0, 0, 1, 0],
+        [0, 1, 0, 0],
+        [0, 0, 0, 1],
+    ],
+    dtype=complex,
+)
+
+
+def rx(theta: float) -> np.ndarray:
+    """Rotation about the X axis by ``theta`` radians."""
+    c, s = np.cos(theta / 2), np.sin(theta / 2)
+    return np.array([[c, -1j * s], [-1j * s, c]], dtype=complex)
+
+
+def ry(theta: float) -> np.ndarray:
+    """Rotation about the Y axis by ``theta`` radians."""
+    c, s = np.cos(theta / 2), np.sin(theta / 2)
+    return np.array([[c, -s], [s, c]], dtype=complex)
+
+
+def rz(theta: float) -> np.ndarray:
+    """Rotation about the Z axis by ``theta`` radians."""
+    phase = np.exp(-1j * theta / 2)
+    return np.array([[phase, 0], [0, phase.conjugate()]], dtype=complex)
+
+
+def pauli_frame_gate(frame_index: int) -> np.ndarray:
+    """The Pauli operator for a packed two-bit frame index."""
+    return PAULI_FRAME[int(frame_index) & 0b11]
+
+
+def is_unitary(matrix: np.ndarray, tol: float = 1e-9) -> bool:
+    """Check unitarity (used by tests and input validation)."""
+    matrix = np.asarray(matrix)
+    identity = np.eye(matrix.shape[0])
+    return bool(np.allclose(matrix @ matrix.conj().T, identity, atol=tol))

@@ -1,0 +1,275 @@
+"""High-level quantum operations used by the protocol stack.
+
+Everything protocols do to qubits goes through this module:
+
+* creating entangled pairs from a density matrix (link layer),
+* noisy Bell-state measurements (entanglement swaps, Alg. 7),
+* Pauli frame corrections (head-end TRACK rule, Alg. 2),
+* noisy single-qubit measurements in X/Y/Z (MEASURE requests, QKD,
+  distillation),
+* the outcome-averaged swap map used by the routing protocol's worst-case
+  fidelity budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from .bell import swap_combine
+from .channels import two_qubit_depolarizing_kraus, depolarizing_kraus
+from .gates import CNOT, H, PAULI_FRAME, S, X, Z
+from .qubit import Qubit
+from .states import QState
+
+
+@dataclass(frozen=True)
+class NoisyOpParams:
+    """Noise knobs for a physical operation, mirroring Table 1.
+
+    ``fidelity`` maps onto a depolarizing channel around the ideal unitary;
+    readout errors flip the reported classical bit.
+    """
+
+    two_qubit_gate_fidelity: float = 1.0
+    single_qubit_gate_fidelity: float = 1.0
+    readout_error0: float = 0.0
+    readout_error1: float = 0.0
+
+    @property
+    def two_qubit_depolar_prob(self) -> float:
+        """Depolarizing probability equivalent to the two-qubit gate fidelity.
+
+        For a two-qubit depolarizing channel the average gate fidelity is
+        ``1 - 4p/5`` (d=4: F = 1 - p·d/(d+1)); we invert that relation and
+        clamp to [0, 1].
+        """
+        p = (1.0 - self.two_qubit_gate_fidelity) * 5.0 / 4.0
+        return min(max(p, 0.0), 1.0)
+
+    @property
+    def single_qubit_depolar_prob(self) -> float:
+        """Depolarizing probability for single-qubit gates (F = 1 - 2p/3)."""
+        p = (1.0 - self.single_qubit_gate_fidelity) * 3.0 / 2.0
+        return min(max(p, 0.0), 1.0)
+
+
+PERFECT_OPS = NoisyOpParams()
+
+
+def create_pair(dm: np.ndarray, name_a: str = "", name_b: str = "") -> Tuple[Qubit, Qubit]:
+    """Create two fresh qubits holding the given two-qubit density matrix."""
+    qubit_a = Qubit(name_a)
+    qubit_b = Qubit(name_b)
+    QState(np.asarray(dm, dtype=complex), [qubit_a, qubit_b])
+    return qubit_a, qubit_b
+
+
+def create_bell_pair(index: int = 0, fidelity: float = 1.0,
+                     name_a: str = "", name_b: str = "") -> Tuple[Qubit, Qubit]:
+    """Create a (possibly Werner-noisy) Bell pair."""
+    from .bell import werner_dm
+
+    return create_pair(werner_dm(fidelity, index), name_a, name_b)
+
+
+def _ensure_joint(qubit_a: Qubit, qubit_b: Qubit) -> QState:
+    if qubit_a.state is None or qubit_b.state is None:
+        raise ValueError("operation on freed qubit")
+    if qubit_a.state is not qubit_b.state:
+        return QState.merge(qubit_a.state, qubit_b.state)
+    return qubit_a.state
+
+
+def bell_state_measurement(qubit_a: Qubit, qubit_b: Qubit, rng,
+                           ops: NoisyOpParams = PERFECT_OPS) -> int:
+    """Perform a noisy Bell-state measurement on two co-located qubits.
+
+    This is the physical core of the entanglement swap: the two qubits are
+    consumed (measured out and removed from their state) and the packed
+    two-bit outcome index is returned, with readout errors applied to the
+    reported bits.  The remaining qubits of the merged state — the remote
+    halves of the two input pairs — are left entangled with each other.
+    """
+    state = _ensure_joint(qubit_a, qubit_b)
+    if ops.two_qubit_depolar_prob > 0:
+        state.apply_channel(two_qubit_depolarizing_kraus(ops.two_qubit_depolar_prob),
+                            [qubit_a, qubit_b])
+    # Rotate the Bell basis onto the computational basis: CNOT then H on the
+    # control maps |B_ab⟩ → |a⟩|b⟩.
+    state.apply_unitary(CNOT, [qubit_a, qubit_b])
+    state.apply_unitary(H, [qubit_a])
+    if ops.single_qubit_depolar_prob > 0:
+        state.apply_channel(depolarizing_kraus(ops.single_qubit_depolar_prob), [qubit_a])
+    phase_bit = state.measure(qubit_a, rng)
+    parity_bit = state.measure(qubit_b, rng)
+    phase_bit ^= _readout_flip(phase_bit, rng, ops)
+    parity_bit ^= _readout_flip(parity_bit, rng, ops)
+    return (phase_bit << 1) | parity_bit
+
+
+def _readout_flip(bit: int, rng, ops: NoisyOpParams) -> int:
+    error = ops.readout_error0 if bit == 0 else ops.readout_error1
+    return 1 if (error > 0 and rng.random() < error) else 0
+
+
+_BASIS_ROTATIONS = {
+    "Z": None,
+    "X": H,
+    # Rotate Y eigenbasis onto Z: measure after S† then H.
+    "Y": H @ S.conj().T,
+}
+
+
+def measure_qubit(qubit: Qubit, rng, basis: str = "Z",
+                  ops: NoisyOpParams = PERFECT_OPS) -> int:
+    """Noisy single-qubit measurement in the X, Y or Z basis.
+
+    The qubit is consumed.  Returns the reported (possibly misread) bit.
+    """
+    if qubit.state is None:
+        raise ValueError("cannot measure a freed qubit")
+    rotation = _BASIS_ROTATIONS.get(basis.upper())
+    if basis.upper() not in _BASIS_ROTATIONS:
+        raise ValueError(f"unknown basis {basis!r}")
+    state = qubit.state
+    if rotation is not None:
+        state.apply_unitary(rotation, [qubit])
+    if ops.single_qubit_depolar_prob > 0:
+        state.apply_channel(depolarizing_kraus(ops.single_qubit_depolar_prob), [qubit])
+    bit = state.measure(qubit, rng)
+    return bit ^ _readout_flip(bit, rng, ops)
+
+
+def pauli_correct(qubit: Qubit, frame_index: int,
+                  ops: NoisyOpParams = PERFECT_OPS) -> None:
+    """Apply the Pauli frame ``X^b Z^a`` to one qubit of a pair.
+
+    Used by the head-end node to rotate a delivered pair into the Bell state
+    the application asked for (``final_state`` in the FORWARD message).
+    """
+    if qubit.state is None:
+        raise ValueError("cannot correct a freed qubit")
+    frame_index = int(frame_index) & 0b11
+    if frame_index == 0:
+        return
+    state = qubit.state
+    state.apply_unitary(PAULI_FRAME[frame_index], [qubit])
+    if ops.single_qubit_depolar_prob > 0:
+        state.apply_channel(depolarizing_kraus(ops.single_qubit_depolar_prob), [qubit])
+
+
+def apply_gate(qubit: Qubit, gate: np.ndarray, ops: NoisyOpParams = PERFECT_OPS) -> None:
+    """Apply a noisy single-qubit gate."""
+    if qubit.state is None:
+        raise ValueError("cannot operate on a freed qubit")
+    qubit.state.apply_unitary(gate, [qubit])
+    if ops.single_qubit_depolar_prob > 0:
+        qubit.state.apply_channel(depolarizing_kraus(ops.single_qubit_depolar_prob), [qubit])
+
+
+def apply_two_qubit_gate(control: Qubit, target: Qubit, gate: np.ndarray,
+                         ops: NoisyOpParams = PERFECT_OPS) -> None:
+    """Apply a noisy two-qubit gate (merging states if needed)."""
+    state = _ensure_joint(control, target)
+    state.apply_unitary(gate, [control, target])
+    if ops.two_qubit_depolar_prob > 0:
+        state.apply_channel(two_qubit_depolarizing_kraus(ops.two_qubit_depolar_prob),
+                            [control, target])
+
+
+def discard(qubit: Qubit) -> None:
+    """Trace a qubit out of its state (cutoff discard, Alg. 9)."""
+    if qubit.state is not None:
+        qubit.state.remove(qubit)
+
+
+# ----------------------------------------------------------------------
+# Deterministic swap map for the routing protocol's fidelity budget
+# ----------------------------------------------------------------------
+
+def averaged_swap_dm(rho_ab: np.ndarray, rho_bc: np.ndarray,
+                     ops: NoisyOpParams = PERFECT_OPS) -> np.ndarray:
+    """Outcome-averaged, frame-corrected entanglement-swap map.
+
+    Builds the joint 4-qubit state of two pairs (A-B1, B2-C), applies the
+    noisy Bell-state measurement on (B1, B2) *deterministically* — computing
+    all four conditional outcomes — and returns the average A-C density
+    matrix after each branch has been Pauli-corrected back to the Φ+ frame
+    (exactly what lazy tracking achieves logically).  Readout errors are
+    folded in as classical mislabel branches: a misreported outcome means the
+    tracking applies the wrong frame, so the mislabeled branch contributes
+    its *uncorrected-in-the-right-frame* state.
+
+    The routing protocol composes this map L−1 times over worst-case-aged
+    link states to budget per-link fidelity (Sec. 5).
+    """
+    rho_ab = np.asarray(rho_ab, dtype=complex)
+    rho_bc = np.asarray(rho_bc, dtype=complex)
+    # Qubit order: A, B1, B2, C.
+    joint = np.kron(rho_ab, rho_bc)
+
+    qubits = [Qubit(str(i)) for i in range(4)]
+    state = QState(joint, qubits)
+    if ops.two_qubit_depolar_prob > 0:
+        state.apply_channel(two_qubit_depolarizing_kraus(ops.two_qubit_depolar_prob),
+                            [qubits[1], qubits[2]])
+    state.apply_unitary(CNOT, [qubits[1], qubits[2]])
+    state.apply_unitary(H, [qubits[1]])
+
+    result = np.zeros((4, 4), dtype=complex)
+    for outcome in range(4):
+        phase_bit, parity_bit = (outcome >> 1) & 1, outcome & 1
+        proj = np.kron(np.diag([1 - phase_bit, phase_bit]),
+                       np.diag([1 - parity_bit, parity_bit])).astype(complex)
+        branch = state._sandwich(proj, [1, 2])
+        prob = float(np.real(np.trace(branch)))
+        if prob <= 1e-15:
+            continue
+        tensor = branch.reshape([2] * 8)
+        # Trace out B1 (axis 1/5) then B2 (now axis 1/4).
+        tensor = np.trace(tensor, axis1=1, axis2=5)
+        tensor = np.trace(tensor, axis1=1, axis2=4)
+        rho_ac = tensor.reshape(4, 4)
+        for reported in range(4):
+            mislabel_prob = _report_probability(outcome, reported, ops)
+            if mislabel_prob <= 0:
+                continue
+            corrected = _frame_correct(rho_ac / prob, swap_combine(0, 0, reported))
+            result += prob * mislabel_prob * corrected
+    return result
+
+
+def _report_probability(true_outcome: int, reported: int, ops: NoisyOpParams) -> float:
+    """Probability that ``true_outcome`` is reported as ``reported``."""
+    prob = 1.0
+    for shift in (1, 0):
+        true_bit = (true_outcome >> shift) & 1
+        reported_bit = (reported >> shift) & 1
+        error = ops.readout_error0 if true_bit == 0 else ops.readout_error1
+        prob *= error if true_bit != reported_bit else (1.0 - error)
+    return prob
+
+
+def _frame_correct(rho: np.ndarray, reported_index: int) -> np.ndarray:
+    """Rotate ``rho`` from the reported Bell frame back to Φ+."""
+    pauli = PAULI_FRAME[int(reported_index) & 0b11]
+    op = np.kron(np.eye(2, dtype=complex), pauli)
+    return op.conj().T @ rho @ op
+
+
+def teleport(data_qubit: Qubit, pair_near: Qubit, pair_far: Qubit, rng,
+             ops: NoisyOpParams = PERFECT_OPS) -> Qubit:
+    """Teleport ``data_qubit`` through the pair (near, far).
+
+    Performs the BSM on (data, near), applies the conditional Pauli
+    correction on ``far`` and returns it.  Assumes the pair is (reported to
+    be) in Φ+; callers holding other Bell states should `pauli_correct`
+    first — exactly the workflow the QNP's final_state field enables.
+    """
+    outcome = bell_state_measurement(data_qubit, pair_near, rng, ops)
+    # For Φ+ the correction is the outcome frame itself.
+    pauli_correct(pair_far, outcome, ops)
+    return pair_far

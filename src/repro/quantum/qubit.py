@@ -1,0 +1,58 @@
+"""Qubit handles.
+
+A :class:`Qubit` is a stable identity that protocols can hold while the
+underlying shared quantum state (:class:`~repro.quantum.states.QState`)
+merges, collapses and shrinks around it.  The hardware layer stamps each
+qubit with its memory decoherence parameters so noise can be applied lazily.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .states import QState
+
+_qubit_ids = itertools.count()
+
+
+class Qubit:
+    """A single qubit, member of at most one :class:`QState`.
+
+    Attributes
+    ----------
+    t1, t2:
+        Memory relaxation / dephasing times in ns (``math.inf`` = noiseless).
+    last_noise_time:
+        Simulated timestamp up to which memory noise has been applied.
+    """
+
+    __slots__ = ("uid", "name", "state", "t1", "t2", "last_noise_time", "owner")
+
+    def __init__(self, name: str = "", t1: float = math.inf, t2: float = math.inf):
+        self.uid = next(_qubit_ids)
+        self.name = name or f"q{self.uid}"
+        self.state: Optional["QState"] = None
+        self.t1 = t1
+        self.t2 = t2
+        self.last_noise_time = 0.0
+        #: Opaque slot reference used by the quantum memory manager.
+        self.owner = None
+
+    @property
+    def active(self) -> bool:
+        """Whether this qubit is still part of a live quantum state."""
+        return self.state is not None
+
+    @property
+    def index(self) -> int:
+        """Position of this qubit within its :class:`QState`."""
+        if self.state is None:
+            raise RuntimeError(f"{self.name} is not part of a state")
+        return self.state.index_of(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        status = "active" if self.active else "freed"
+        return f"<Qubit {self.name} {status}>"

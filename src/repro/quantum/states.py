@@ -1,0 +1,231 @@
+"""Shared quantum state container — the density-matrix engine.
+
+A :class:`QState` owns the joint density matrix of one or more qubits.  This
+is the NetSquid-formalism substitute: protocols never touch matrices, they
+hold :class:`~repro.quantum.qubit.Qubit` handles and call the operations in
+:mod:`repro.quantum.operations`.
+
+The engine is exact: gates and channels are applied by tensor contraction
+on the 2^n × 2^n density matrix.  In this system ``n`` never exceeds 4
+(two entangled pairs merged for an entanglement swap), so everything stays
+tiny and fast.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .qubit import Qubit
+
+_TOL = 1e-9
+
+
+class QState:
+    """Joint density matrix over an ordered list of qubits."""
+
+    def __init__(self, dm: np.ndarray, qubits: Sequence[Qubit]):
+        dm = np.asarray(dm, dtype=complex)
+        n = len(qubits)
+        if dm.shape != (2 ** n, 2 ** n):
+            raise ValueError(f"density matrix shape {dm.shape} does not match {n} qubits")
+        self.dm = dm
+        self.qubits = list(qubits)
+        for qubit in self.qubits:
+            if qubit.state is not None and qubit.state is not self:
+                raise ValueError(f"{qubit.name} already belongs to another state")
+            qubit.state = self
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_pure(cls, vector: np.ndarray, qubits: Sequence[Qubit]) -> "QState":
+        """Create a state from a pure state vector."""
+        vector = np.asarray(vector, dtype=complex)
+        norm = np.linalg.norm(vector)
+        if abs(norm - 1.0) > 1e-6:
+            raise ValueError("state vector is not normalised")
+        return cls(np.outer(vector, vector.conj()), qubits)
+
+    @classmethod
+    def ground(cls, qubit: Qubit) -> "QState":
+        """A fresh single qubit in |0⟩."""
+        return cls.from_pure(np.array([1.0, 0.0]), [qubit])
+
+    @staticmethod
+    def merge(state_a: "QState", state_b: "QState") -> "QState":
+        """Tensor two disjoint states into one; qubit handles survive."""
+        if state_a is state_b:
+            return state_a
+        dm = np.kron(state_a.dm, state_b.dm)
+        qubits = state_a.qubits + state_b.qubits
+        for qubit in qubits:
+            qubit.state = None
+        return QState(dm, qubits)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def num_qubits(self) -> int:
+        return len(self.qubits)
+
+    def index_of(self, qubit: Qubit) -> int:
+        return self.qubits.index(qubit)
+
+    def trace(self) -> float:
+        return float(np.real(np.trace(self.dm)))
+
+    def is_valid(self, tol: float = 1e-7) -> bool:
+        """Trace one, Hermitian, positive semidefinite."""
+        if abs(self.trace() - 1.0) > tol:
+            return False
+        if not np.allclose(self.dm, self.dm.conj().T, atol=tol):
+            return False
+        eigenvalues = np.linalg.eigvalsh(self.dm)
+        return bool(eigenvalues.min() > -tol)
+
+    def probability_of(self, projector: np.ndarray, targets: Sequence[Qubit]) -> float:
+        """Probability of the projector on the given qubits."""
+        projected = self._contract(projector, [self.index_of(q) for q in targets])
+        return float(np.real(np.trace(projected)))
+
+    # ------------------------------------------------------------------
+    # Evolution
+    # ------------------------------------------------------------------
+
+    def apply_unitary(self, unitary: np.ndarray, targets: Sequence[Qubit]) -> None:
+        """Apply a unitary to the given qubits (in order)."""
+        indices = [self.index_of(q) for q in targets]
+        self.dm = self._sandwich(unitary, indices)
+
+    def apply_channel(self, kraus_ops: Iterable[np.ndarray], targets: Sequence[Qubit]) -> None:
+        """Apply a Kraus channel to the given qubits (in order)."""
+        indices = [self.index_of(q) for q in targets]
+        result = None
+        for op in kraus_ops:
+            term = self._sandwich(op, indices)
+            result = term if result is None else result + term
+        if result is None:
+            raise ValueError("channel has no Kraus operators")
+        self.dm = result
+
+    def measure(self, qubit: Qubit, rng, remove: bool = True) -> int:
+        """Projective Z measurement; collapses and (optionally) removes the qubit.
+
+        Returns the true physical outcome bit (readout errors are a classical
+        layer on top, handled in :mod:`repro.quantum.operations`).
+        """
+        position = self.index_of(qubit)
+        p0 = np.diag([1.0, 0.0]).astype(complex)
+        prob0 = float(np.real(np.trace(self._contract(p0, [position]))))
+        prob0 = min(max(prob0, 0.0), 1.0)
+        outcome = 0 if rng.random() < prob0 else 1
+        projector = np.diag([1.0, 0.0] if outcome == 0 else [0.0, 1.0]).astype(complex)
+        self.dm = self._sandwich(projector, [position])
+        norm = float(np.real(np.trace(self.dm)))
+        if norm <= _TOL:
+            raise RuntimeError("measurement collapsed to zero-probability branch")
+        self.dm /= norm
+        if remove:
+            self.remove(qubit)
+        return outcome
+
+    def remove(self, qubit: Qubit) -> None:
+        """Partial-trace a qubit out of the state and detach its handle."""
+        position = self.index_of(qubit)
+        n = self.num_qubits
+        tensor = self.dm.reshape([2] * (2 * n))
+        tensor = np.trace(tensor, axis1=position, axis2=position + n)
+        self.qubits.pop(position)
+        qubit.state = None
+        remaining = len(self.qubits)
+        self.dm = tensor.reshape(2 ** remaining, 2 ** remaining) if remaining else \
+            np.array([[1.0]], dtype=complex)
+
+    def reduced_dm(self, targets: Sequence[Qubit]) -> np.ndarray:
+        """Density matrix of a subset of qubits (others traced out)."""
+        keep = [self.index_of(q) for q in targets]
+        n = self.num_qubits
+        tensor = self.dm.reshape([2] * (2 * n))
+        # Trace out the qubits not kept, highest position first so earlier
+        # positions stay valid.
+        for position in sorted(set(range(n)) - set(keep), reverse=True):
+            current_n = len(tensor.shape) // 2
+            tensor = np.trace(tensor, axis1=position, axis2=position + current_n)
+            keep = [k if k < position else k - 1 for k in keep]
+        current_n = len(tensor.shape) // 2
+        dm = tensor.reshape(2 ** current_n, 2 ** current_n)
+        # Reorder to match the requested target order.
+        order = list(np.argsort(np.argsort(keep)))
+        if order != list(range(len(keep))):
+            dm = _permute_qubits(dm, keep)
+        return dm
+
+    # ------------------------------------------------------------------
+    # Tensor plumbing
+    # ------------------------------------------------------------------
+
+    def _sandwich(self, op: np.ndarray, indices: list[int]) -> np.ndarray:
+        """Compute ``op ρ op†`` with ``op`` acting on the given qubit indices."""
+        rho = _apply_left(self.dm, op, indices, self.num_qubits)
+        return _apply_right(rho, op.conj().T, indices, self.num_qubits)
+
+    def _contract(self, op: np.ndarray, indices: list[int]) -> np.ndarray:
+        """Compute ``op ρ`` (left application only), for probabilities."""
+        return _apply_left(self.dm, op, indices, self.num_qubits)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        names = ",".join(q.name for q in self.qubits)
+        return f"<QState [{names}]>"
+
+
+def _apply_left(dm: np.ndarray, op: np.ndarray, targets: list[int], n: int) -> np.ndarray:
+    """Multiply ``op`` (on ``targets``) into the row indices of ``dm``."""
+    k = len(targets)
+    if op.shape != (2 ** k, 2 ** k):
+        raise ValueError(f"operator shape {op.shape} does not match {k} targets")
+    tensor = dm.reshape([2] * (2 * n))
+    op_tensor = op.reshape([2] * (2 * k))
+    contracted = np.tensordot(op_tensor, tensor,
+                              axes=(list(range(k, 2 * k)), targets))
+    # tensordot puts the op's output axes first; move them back into place.
+    rest = [axis for axis in range(2 * n) if axis not in targets]
+    current_order = list(targets) + rest
+    perm = [current_order.index(axis) for axis in range(2 * n)]
+    return contracted.transpose(perm).reshape(2 ** n, 2 ** n)
+
+
+def _apply_right(dm: np.ndarray, op: np.ndarray, targets: list[int], n: int) -> np.ndarray:
+    """Multiply ``op`` (on ``targets``) into the column indices of ``dm``."""
+    column_targets = [t + n for t in targets]
+    k = len(targets)
+    tensor = dm.reshape([2] * (2 * n))
+    op_tensor = op.reshape([2] * (2 * k))
+    contracted = np.tensordot(tensor, op_tensor,
+                              axes=(column_targets, list(range(k))))
+    # tensordot appends the op's output axes at the end; restore positions.
+    rest = [axis for axis in range(2 * n) if axis not in column_targets]
+    current_order = rest + column_targets
+    perm = [current_order.index(axis) for axis in range(2 * n)]
+    return contracted.transpose(perm).reshape(2 ** n, 2 ** n)
+
+
+def _permute_qubits(dm: np.ndarray, keep_positions: list[int]) -> np.ndarray:
+    """Reorder a reduced dm so qubits appear in the order originally requested.
+
+    ``keep_positions`` holds the original positions in request order; the dm
+    currently has them sorted ascending.
+    """
+    n = len(keep_positions)
+    sorted_positions = sorted(keep_positions)
+    # current axis i corresponds to sorted_positions[i]; we want axis j to be
+    # keep_positions[j].
+    axis_map = [sorted_positions.index(p) for p in keep_positions]
+    tensor = dm.reshape([2] * (2 * n))
+    perm = axis_map + [a + n for a in axis_map]
+    return tensor.transpose(perm).reshape(2 ** n, 2 ** n)

@@ -1,0 +1,117 @@
+"""Tests for the statistics and experiment helpers."""
+
+import pytest
+
+from repro.analysis import (
+    Cdf,
+    LatencySummary,
+    mean,
+    percentile,
+    render_series,
+    render_table,
+    run_seeds,
+    standard_error,
+    throughput,
+)
+
+
+class TestBasicStats:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_mean_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_standard_error(self):
+        assert standard_error([5.0]) == 0.0
+        assert standard_error([1.0, 1.0, 1.0]) == 0.0
+        assert standard_error([0.0, 2.0]) > 0.0
+
+    def test_percentile_interpolates(self):
+        values = [0.0, 10.0]
+        assert percentile(values, 0) == 0.0
+        assert percentile(values, 100) == 10.0
+        assert percentile(values, 50) == 5.0
+
+    def test_percentile_validation(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 150)
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+
+class TestCdf:
+    def test_from_samples(self):
+        cdf = Cdf.from_samples([3.0, 1.0, 2.0])
+        assert cdf.xs == [1.0, 2.0, 3.0]
+        assert cdf.ps == pytest.approx([1 / 3, 2 / 3, 1.0])
+
+    def test_quantile(self):
+        cdf = Cdf.from_samples(range(1, 101))
+        assert cdf.quantile(0.5) == 50
+        assert cdf.quantile(0.95) == 95
+        assert cdf.quantile(1.0) == 100
+
+    def test_at(self):
+        cdf = Cdf.from_samples([1.0, 2.0, 3.0, 4.0])
+        assert cdf.at(2.5) == 0.5
+        assert cdf.at(0.0) == 0.0
+        assert cdf.at(10.0) == 1.0
+
+    def test_resample(self):
+        cdf = Cdf.from_samples([0.0, 1.0, 2.0, 3.0, 4.0])
+        points = cdf.resample(5)
+        assert points[0] == (0.0, pytest.approx(0.2))
+        assert points[-1] == (4.0, pytest.approx(1.0))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Cdf.from_samples([])
+        cdf = Cdf.from_samples([1.0])
+        with pytest.raises(ValueError):
+            cdf.quantile(0.0)
+        with pytest.raises(ValueError):
+            cdf.resample(1)
+
+
+class TestThroughput:
+    def test_counts_in_window(self):
+        times = [0.5e9, 1.5e9, 2.5e9, 3.5e9]
+        assert throughput(times, (0.0, 4e9)) == pytest.approx(1.0)
+        assert throughput(times, (0.0, 2e9)) == pytest.approx(1.0)
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            throughput([], (5.0, 5.0))
+
+
+class TestLatencySummary:
+    def test_summary(self):
+        summary = LatencySummary.from_samples([float(i) for i in range(1, 101)])
+        assert summary.count == 100
+        assert summary.mean == pytest.approx(50.5)
+        assert summary.p50 == pytest.approx(50.5)
+        assert summary.p95 == pytest.approx(95.05)
+
+
+class TestHarness:
+    def test_run_seeds(self):
+        sweep = run_seeds(lambda seed: float(seed * 2), range(5))
+        assert sweep.samples == [0.0, 2.0, 4.0, 6.0, 8.0]
+        assert sweep.mean == 4.0
+        assert sweep.sem > 0
+
+    def test_render_table_alignment(self):
+        table = render_table(["name", "value"],
+                             [["alpha", 1.5], ["b", 22222.0]], title="T")
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 5
+
+    def test_render_series(self):
+        out = render_series("series", [1, 2], [0.5, 0.25],
+                            x_label="n", y_label="p")
+        assert "series" in out
+        assert "0.5" in out and "0.25" in out

@@ -1,0 +1,49 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_subcommands():
+    parser = build_parser()
+    for command in ("quickstart", "chain", "qkd", "near-term", "trace"):
+        args = parser.parse_args([command])
+        assert callable(args.fn)
+
+
+def test_parser_requires_subcommand():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_quickstart_runs(capsys):
+    code = main(["--seed", "3", "quickstart", "--pairs", "2"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "circuit" in out
+    assert "status completed" in out
+    assert "F=" in out
+
+
+def test_chain_runs(capsys):
+    code = main(["--seed", "4", "chain", "--nodes", "3", "--pairs", "1",
+                 "--fidelity", "0.8"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "node0 -> node1 -> node2" in out
+
+
+def test_trace_runs(capsys):
+    code = main(["--seed", "5", "trace", "--pairs", "1"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "SWAP" in out
+    assert "FORWARD" in out
+
+
+def test_custom_options_reflected(capsys):
+    main(["--seed", "6", "chain", "--nodes", "3", "--pairs", "2",
+          "--fidelity", "0.85"])
+    out = capsys.readouterr().out
+    assert out.count("pair ") == 2

@@ -1,0 +1,49 @@
+"""Smoke tests: the fast example scripts run end to end.
+
+(The slower examples — QKD, distillation, near-future hardware, the
+congestion study — exercise the same code paths as the integration tests
+and the benchmarks, so they are not re-run here.)
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, timeout: float = 240.0) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True, text=True, timeout=timeout, check=False)
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "Virtual circuit installed" in out
+    assert "completed" in out
+    assert "entanglement" in out
+
+
+def test_sequence_trace():
+    out = run_example("sequence_trace.py")
+    assert "FORWARD" in out
+    assert "SWAP" in out
+    assert "PAIR" in out
+
+
+def test_teleportation():
+    out = run_example("teleportation.py")
+    assert "Teleporting" in out
+    assert out.count("Φ+") >= 5  # all pairs corrected to the requested state
+
+
+def test_all_examples_importable():
+    """Every example compiles (catches bit-rot in the slow ones too)."""
+    for path in sorted(EXAMPLES_DIR.glob("*.py")):
+        source = path.read_text()
+        compile(source, str(path), "exec")

@@ -1,0 +1,163 @@
+"""Tests for fibre and the single-click heralded entanglement model."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.hardware import (
+    FibreSegment,
+    HeraldedConnection,
+    NEAR_TERM,
+    SIMULATION,
+    SingleClickModel,
+)
+from repro.netsim.units import MS, US, fibre_delay
+from repro.quantum import BellIndex, bell_fidelity
+
+
+def lab_model(length_km=0.002, params=SIMULATION):
+    return SingleClickModel(params, HeraldedConnection.lab(length_km))
+
+
+class TestFibre:
+    def test_segment_validation(self):
+        with pytest.raises(ValueError):
+            FibreSegment(-1.0)
+        with pytest.raises(ValueError):
+            FibreSegment(1.0, attenuation_db_per_km=-2.0)
+
+    def test_transmissivity_and_delay(self):
+        segment = FibreSegment(2.0, 5.0)
+        assert segment.transmissivity == pytest.approx(10 ** -1.0)
+        assert segment.delay == pytest.approx(fibre_delay(2.0))
+
+    def test_symmetric_connection(self):
+        connection = HeraldedConnection.lab(2.0)
+        assert connection.total_length_km == pytest.approx(2.0)
+        assert connection.segment_a.length_km == pytest.approx(1.0)
+        # Round trip: photon to midpoint + herald back.
+        assert connection.herald_round_trip == pytest.approx(2 * fibre_delay(1.0))
+
+    def test_telecom_attenuation(self):
+        connection = HeraldedConnection.telecom(25.0)
+        assert connection.segment_a.attenuation_db_per_km == 0.5
+
+
+class TestSingleClick:
+    def test_cycle_time_dominated_by_overhead_on_short_link(self):
+        model = lab_model()
+        assert 2 * US < model.cycle_time < 20 * US
+
+    def test_success_probability_increases_with_alpha(self):
+        model = lab_model()
+        assert model.success_probability(0.2) > model.success_probability(0.05)
+
+    def test_success_probability_bounds(self):
+        model = lab_model()
+        for alpha in (0.001, 0.05, 0.3, 0.5):
+            assert 0.0 < model.success_probability(alpha) <= 1.0
+
+    def test_alpha_validation(self):
+        model = lab_model()
+        with pytest.raises(ValueError):
+            model.success_probability(0.0)
+        with pytest.raises(ValueError):
+            model.success_probability(0.6)
+
+    def test_fidelity_decreases_with_alpha(self):
+        model = lab_model()
+        assert model.fidelity(0.05) > model.fidelity(0.2) > model.fidelity(0.4)
+
+    def test_fidelity_rate_tradeoff(self):
+        """The P1 knob: higher fidelity costs rate (Sec 2.3)."""
+        model = lab_model()
+        alpha_high_f = model.alpha_for_fidelity(0.95)
+        alpha_low_f = model.alpha_for_fidelity(0.80)
+        assert alpha_low_f > alpha_high_f
+        assert model.expected_pair_time(alpha_low_f) < model.expected_pair_time(alpha_high_f)
+
+    def test_alpha_for_fidelity_meets_target(self):
+        model = lab_model()
+        for target in (0.8, 0.9, 0.95, 0.97):
+            alpha = model.alpha_for_fidelity(target)
+            assert model.fidelity(alpha) >= target - 1e-9
+
+    def test_unreachable_fidelity_rejected(self):
+        model = lab_model()
+        with pytest.raises(ValueError):
+            model.alpha_for_fidelity(0.9999)
+
+    def test_near_term_visibility_limits_fidelity(self):
+        model = SingleClickModel(NEAR_TERM, HeraldedConnection.telecom(25.0))
+        # Visibility 0.9 caps fidelity well below 0.95.
+        with pytest.raises(ValueError):
+            model.alpha_for_fidelity(0.95)
+        alpha = model.alpha_for_fidelity(0.8)
+        assert model.fidelity(alpha) >= 0.8
+
+    def test_produced_dm_fidelity_matches_analytic(self):
+        model = lab_model()
+        for alpha in (0.01, 0.05, 0.2):
+            for index in (BellIndex.PSI_PLUS, BellIndex.PSI_MINUS):
+                dm = model.produced_dm(alpha, index)
+                assert np.trace(dm) == pytest.approx(1.0)
+                assert bell_fidelity(dm, index) == pytest.approx(model.fidelity(alpha))
+
+    def test_produced_dm_rejects_phi_states(self):
+        model = lab_model()
+        with pytest.raises(ValueError):
+            model.produced_dm(0.05, BellIndex.PHI_PLUS)
+
+    def test_produced_dm_is_valid_state(self):
+        model = SingleClickModel(NEAR_TERM, HeraldedConnection.telecom(25.0))
+        dm = model.produced_dm(0.3, BellIndex.PSI_PLUS)
+        eigenvalues = np.linalg.eigvalsh(dm)
+        assert eigenvalues.min() > -1e-12
+
+    def test_fig5_calibration_mean_time(self):
+        """Fig 5: F=0.95 pairs over 2 m take ~10 ms on average."""
+        model = lab_model(0.002)
+        alpha = model.alpha_for_fidelity(0.95)
+        mean_time = model.expected_pair_time(alpha)
+        assert 5 * MS < mean_time < 20 * MS
+
+    def test_fig5_calibration_95th_percentile(self):
+        """Fig 5: 95% of pairs within ~30 ms (we allow 15–60 ms)."""
+        model = lab_model(0.002)
+        alpha = model.alpha_for_fidelity(0.95)
+        q95 = model.time_quantile(alpha, 0.95)
+        assert 15 * MS < q95 < 60 * MS
+
+    def test_time_quantile_validation(self):
+        model = lab_model()
+        with pytest.raises(ValueError):
+            model.time_quantile(0.05, 1.0)
+
+    def test_sample_attempts_geometric_mean(self):
+        model = lab_model()
+        rng = random.Random(5)
+        alpha = 0.1
+        samples = [model.sample_attempts(alpha, rng) for _ in range(4000)]
+        expected_mean = 1.0 / model.success_probability(alpha)
+        assert np.mean(samples) == pytest.approx(expected_mean, rel=0.1)
+        assert min(samples) >= 1
+
+    def test_sample_produces_both_psi_states(self):
+        model = lab_model()
+        rng = random.Random(7)
+        seen = {model.sample(0.1, rng).bell_index for _ in range(50)}
+        assert seen == {BellIndex.PSI_PLUS, BellIndex.PSI_MINUS}
+
+    def test_sample_duration_consistent(self):
+        model = lab_model()
+        rng = random.Random(8)
+        sample = model.sample(0.1, rng)
+        assert sample.duration == pytest.approx(sample.attempts * model.cycle_time)
+
+    def test_near_term_is_much_slower(self):
+        lab = lab_model()
+        near = SingleClickModel(NEAR_TERM, HeraldedConnection.telecom(25.0))
+        alpha_lab = lab.alpha_for_fidelity(0.9)
+        alpha_near = near.alpha_for_fidelity(0.75)
+        assert near.expected_pair_time(alpha_near) > 10 * lab.expected_pair_time(alpha_lab)

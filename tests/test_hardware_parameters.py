@@ -1,0 +1,111 @@
+"""Tables 1 and 2 of the paper, asserted value by value."""
+
+import math
+
+import pytest
+
+from repro.hardware import NEAR_TERM, SIMULATION
+from repro.netsim.units import MINUTE, NS, S, US
+
+
+class TestTable1Simulation:
+    gates = SIMULATION.gates
+
+    def test_electron_single_qubit_gate(self):
+        assert self.gates.electron_single_qubit_fidelity == 1.0
+        assert self.gates.electron_single_qubit_duration == 5 * NS
+
+    def test_two_qubit_gate(self):
+        assert self.gates.two_qubit_gate_fidelity == 0.998
+        assert self.gates.two_qubit_gate_duration == 500 * US
+
+    def test_electron_init(self):
+        assert self.gates.electron_init_fidelity == 0.99
+        assert self.gates.electron_init_duration == 2 * US
+
+    def test_electron_readout(self):
+        assert self.gates.electron_readout_fidelity0 == 0.998
+        assert self.gates.electron_readout_fidelity1 == 0.998
+        assert self.gates.electron_readout_duration == 3.7 * US
+
+
+class TestTable1NearTerm:
+    gates = NEAR_TERM.gates
+
+    def test_two_qubit_gate(self):
+        assert self.gates.two_qubit_gate_fidelity == 0.992
+        assert self.gates.two_qubit_gate_duration == 500 * US
+
+    def test_carbon_gates(self):
+        assert self.gates.carbon_rot_z_fidelity == 1.0
+        assert self.gates.carbon_rot_z_duration == 20 * US
+        assert self.gates.carbon_init_fidelity == 0.95
+        assert self.gates.carbon_init_duration == 300 * US
+
+    def test_electron_readout_asymmetric(self):
+        assert self.gates.electron_readout_fidelity0 == 0.95
+        assert self.gates.electron_readout_fidelity1 == 0.995
+
+
+class TestTable2:
+    def test_electron_lifetimes(self):
+        assert SIMULATION.electron_t1 >= 3600 * S
+        assert SIMULATION.electron_t2 == 60 * S
+        assert NEAR_TERM.electron_t2 == pytest.approx(1.46 * S)
+
+    def test_carbon_lifetimes(self):
+        assert NEAR_TERM.carbon_t1 >= 6 * MINUTE
+        assert NEAR_TERM.carbon_t2 == 60 * S
+
+    def test_optics_simulation(self):
+        assert SIMULATION.tau_w == 25.0
+        assert SIMULATION.tau_e == 6.0
+        assert SIMULATION.delta_phi == pytest.approx(math.radians(2.0))
+        assert SIMULATION.p_double_excitation == 0.0
+        assert SIMULATION.p_zero_phonon == 0.75
+        assert SIMULATION.collection_efficiency == pytest.approx(20.0e-3)
+        assert SIMULATION.dark_count_rate == pytest.approx(20.0 / S)
+        assert SIMULATION.p_detection == 0.8
+        assert SIMULATION.visibility == 1.0
+
+    def test_optics_near_term(self):
+        assert NEAR_TERM.delta_omega == pytest.approx(2 * math.pi * 377e3 / S)
+        assert NEAR_TERM.tau_d == 82.0
+        assert NEAR_TERM.tau_e == pytest.approx(6.48)
+        assert NEAR_TERM.delta_phi == pytest.approx(math.radians(10.6))
+        assert NEAR_TERM.p_double_excitation == 0.04
+        assert NEAR_TERM.p_zero_phonon == 0.46
+        assert NEAR_TERM.collection_efficiency == pytest.approx(4.38e-3)
+        assert NEAR_TERM.visibility == 0.9
+
+    def test_resource_model(self):
+        # Simulation: two communication qubits per link, links in parallel.
+        assert SIMULATION.comm_qubits_per_link == 2
+        assert SIMULATION.parallel_links
+        # Near-term: one communication qubit, storage qubits, serial links.
+        assert NEAR_TERM.comm_qubits_per_link == 1
+        assert NEAR_TERM.storage_qubits > 0
+        assert not NEAR_TERM.parallel_links
+
+
+def test_with_t2_replaces_only_t2():
+    varied = SIMULATION.with_t2(1.6 * S)
+    assert varied.electron_t2 == 1.6 * S
+    assert varied.electron_t1 == SIMULATION.electron_t1
+    assert varied.gates == SIMULATION.gates
+
+
+def test_dark_count_probability_is_tiny():
+    # 20 Hz over a 25 ns window.
+    assert SIMULATION.dark_count_probability() == pytest.approx(20 * 25e-9, rel=1e-6)
+
+
+def test_readout_error_properties():
+    assert SIMULATION.gates.readout_error0 == pytest.approx(0.002)
+    assert NEAR_TERM.gates.readout_error0 == pytest.approx(0.05)
+    assert NEAR_TERM.gates.readout_error1 == pytest.approx(0.005)
+
+
+def test_bsm_duration():
+    expected = 500 * US + 2 * 3.7 * US
+    assert SIMULATION.gates.bsm_duration == pytest.approx(expected)

@@ -1,0 +1,112 @@
+"""Light unit tests: message dataclasses and the Network facade internals."""
+
+import pytest
+
+from repro.core.messages import Complete, Direction, Expire, Forward, Track
+from repro.core.requests import DeliveryStatus, PairDelivery, RequestType
+from repro.network.builder import MatchedPair, Network, _Submission
+from repro.quantum import BellIndex
+
+
+def make_forward(**overrides):
+    fields = dict(
+        circuit_id="vc0", request_id="r0", head_end_identifier=1,
+        tail_end_identifier=2, request_type=RequestType.KEEP,
+        measure_info=None, number_of_pairs=3, final_state=None, rate=0.0)
+    fields.update(overrides)
+    return Forward(**fields)
+
+
+class TestMessages:
+    def test_forward_defaults(self):
+        forward = make_forward()
+        assert forward.rate_based_only is False
+        assert forward.epoch == 0
+        assert forward.epoch_requests == ()
+
+    def test_complete_carries_epoch(self):
+        complete = Complete(circuit_id="vc0", request_id="r0",
+                            head_end_identifier=1, tail_end_identifier=2,
+                            rate=5.0, epoch=7, epoch_requests=("a",))
+        assert complete.epoch == 7
+        assert complete.epoch_requests == ("a",)
+
+    def test_track_mutable_fields(self):
+        track = Track(circuit_id="vc0", direction=Direction.DOWNSTREAM,
+                      request_id="r0", head_end_identifier=1,
+                      tail_end_identifier=2,
+                      origin_correlator=("l", 0),
+                      link_correlator=("l", 0),
+                      outcome_state=BellIndex.PSI_PLUS, epoch=1)
+        track.link_correlator = ("m", 4)
+        track.outcome_state = BellIndex.PHI_MINUS
+        assert track.origin_correlator == ("l", 0)
+
+    def test_expire_direction(self):
+        expire = Expire(circuit_id="vc0", direction=Direction.UPSTREAM,
+                        origin_correlator=("l", 0))
+        assert expire.direction.reverse is Direction.DOWNSTREAM
+
+
+def make_delivery(pair_id, status=DeliveryStatus.CONFIRMED, qubit=None):
+    return PairDelivery(request_id="r0", sequence=0, status=status,
+                        qubit=qubit, measurement=None,
+                        bell_state=BellIndex.PHI_PLUS, pair_id=pair_id,
+                        t_created=0.0, t_delivered=1.0)
+
+
+class TestSubmissionMatching:
+    def test_matching_requires_both_ends(self):
+        submission = _Submission(handle=None, record_fidelity=True)
+        net = Network.__new__(Network)  # matching logic only
+        net._match(submission, make_delivery(("p", 0)), is_head=True)
+        assert submission.matched == []
+        net._match(submission, make_delivery(("p", 0)), is_head=False)
+        assert len(submission.matched) == 1
+        matched = submission.matched[0]
+        assert isinstance(matched, MatchedPair)
+        assert matched.fidelity is None  # no qubits attached
+        assert matched.accepted
+
+    def test_distinct_pair_ids_do_not_match(self):
+        submission = _Submission(handle=None, record_fidelity=True)
+        net = Network.__new__(Network)
+        net._match(submission, make_delivery(("p", 0)), is_head=True)
+        net._match(submission, make_delivery(("p", 1)), is_head=False)
+        assert submission.matched == []
+
+    def test_matching_disabled_without_recording(self):
+        submission = _Submission(handle=None, record_fidelity=False)
+        net = Network.__new__(Network)
+        net._match(submission, make_delivery(("p", 0)), is_head=True)
+        net._match(submission, make_delivery(("p", 0)), is_head=False)
+        assert submission.matched == []
+
+    def test_oracle_accepts_and_rejects(self):
+        from repro.quantum import bell_dm, create_pair, werner_dm
+
+        submission = _Submission(handle=None, record_fidelity=True,
+                                 oracle_min_fidelity=0.9)
+        net = Network.__new__(Network)
+        good_a, good_b = create_pair(bell_dm(0))
+        net._match(submission, make_delivery(("p", 0), qubit=good_a),
+                   is_head=True)
+        net._match(submission, make_delivery(("p", 0), qubit=good_b),
+                   is_head=False)
+        bad_a, bad_b = create_pair(werner_dm(0.6))
+        net._match(submission, make_delivery(("p", 1), qubit=bad_a),
+                   is_head=True)
+        net._match(submission, make_delivery(("p", 1), qubit=bad_b),
+                   is_head=False)
+        accepted = [m.accepted for m in submission.matched]
+        assert accepted == [True, False]
+        # Qubits were consumed after measurement to avoid state build-up.
+        assert good_a.state is None and bad_b.state is None
+
+    def test_pending_deliveries_not_matched(self):
+        submission = _Submission(handle=None, record_fidelity=True)
+        net = Network.__new__(Network)
+        net._on_head_delivery(submission,
+                              make_delivery(("p", 0),
+                                            status=DeliveryStatus.PENDING))
+        assert submission._pending == {}

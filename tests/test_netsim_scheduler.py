@@ -1,0 +1,153 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.netsim import MS, S, Simulator
+
+
+def test_time_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(30, lambda: fired.append("c"))
+    sim.schedule(10, lambda: fired.append("a"))
+    sim.schedule(20, lambda: fired.append("b"))
+    sim.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_simultaneous_events_fire_fifo():
+    sim = Simulator()
+    fired = []
+    for tag in range(10):
+        sim.schedule(5.0, fired.append, tag)
+    sim.run()
+    assert fired == list(range(10))
+
+
+def test_now_advances_to_event_time():
+    sim = Simulator()
+    seen = []
+    sim.schedule(42.0, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [42.0]
+    assert sim.now == 42.0
+
+
+def test_schedule_with_args():
+    sim = Simulator()
+    out = []
+    sim.schedule(1.0, out.append, "payload")
+    sim.run()
+    assert out == ["payload"]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.schedule(-1.0, lambda: None)
+
+
+def test_schedule_at_in_past_rejected():
+    sim = Simulator()
+    sim.schedule(10.0, lambda: None)
+    sim.run()
+    with pytest.raises(ValueError):
+        sim.schedule_at(5.0, lambda: None)
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    handle = sim.schedule(10.0, lambda: fired.append("x"))
+    handle.cancel()
+    sim.run()
+    assert fired == []
+
+
+def test_cancel_is_idempotent():
+    sim = Simulator()
+    handle = sim.schedule(10.0, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    sim.run()
+    assert not handle.active
+
+
+def test_run_until_stops_before_later_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule(10.0, fired.append, "early")
+    sim.schedule(100.0, fired.append, "late")
+    sim.run(until=50.0)
+    assert fired == ["early"]
+    assert sim.now == 50.0
+    sim.run()
+    assert fired == ["early", "late"]
+
+
+def test_run_until_includes_boundary_event():
+    sim = Simulator()
+    fired = []
+    sim.schedule(50.0, fired.append, "edge")
+    sim.run(until=50.0)
+    assert fired == ["edge"]
+
+
+def test_events_scheduled_during_run_fire():
+    sim = Simulator()
+    fired = []
+
+    def chain(n):
+        fired.append(n)
+        if n < 5:
+            sim.schedule(1.0, chain, n + 1)
+
+    sim.schedule(1.0, chain, 0)
+    sim.run()
+    assert fired == [0, 1, 2, 3, 4, 5]
+
+
+def test_max_events_guard():
+    sim = Simulator()
+
+    def forever():
+        sim.schedule(1.0, forever)
+
+    sim.schedule(1.0, forever)
+    with pytest.raises(RuntimeError):
+        sim.run(max_events=100)
+
+
+def test_rng_reproducible_across_runs():
+    values_a = Simulator(seed=7).rng.random()
+    values_b = Simulator(seed=7).rng.random()
+    assert values_a == values_b
+    assert Simulator(seed=8).rng.random() != values_a
+
+
+def test_pending_events_count():
+    sim = Simulator()
+    h1 = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    assert sim.pending_events() == 2
+    h1.cancel()
+    assert sim.pending_events() == 1
+
+
+def test_run_until_advances_time_even_with_empty_queue():
+    sim = Simulator()
+    sim.run(until=3 * S)
+    assert sim.now == 3 * S
+
+
+def test_events_processed_counter():
+    sim = Simulator()
+    for _ in range(4):
+        sim.schedule(1 * MS, lambda: None)
+    sim.run()
+    assert sim.events_processed == 4

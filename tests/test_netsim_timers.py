@@ -1,0 +1,102 @@
+"""Unit tests for timers."""
+
+import pytest
+
+from repro.netsim import PeriodicTimer, Simulator, Timer
+
+
+def test_timer_fires_after_delay():
+    sim = Simulator()
+    fired = []
+    timer = Timer(sim, lambda: fired.append(sim.now))
+    timer.start(25.0)
+    sim.run()
+    assert fired == [25.0]
+
+
+def test_timer_cancel_prevents_firing():
+    sim = Simulator()
+    fired = []
+    timer = Timer(sim, fired.append, "x")
+    timer.start(25.0)
+    timer.cancel()
+    sim.run()
+    assert fired == []
+    assert not timer.armed
+
+
+def test_timer_restart_supersedes_previous_deadline():
+    sim = Simulator()
+    fired = []
+    timer = Timer(sim, lambda: fired.append(sim.now))
+    timer.start(10.0)
+    timer.start(50.0)
+    sim.run()
+    assert fired == [50.0]
+
+
+def test_timer_passes_args():
+    sim = Simulator()
+    got = []
+    timer = Timer(sim, lambda a, b: got.append((a, b)), 1, 2)
+    timer.start(1.0)
+    sim.run()
+    assert got == [(1, 2)]
+
+
+def test_timer_remaining():
+    sim = Simulator()
+    timer = Timer(sim, lambda: None)
+    assert timer.remaining() is None
+    timer.start(100.0)
+    sim.schedule(40.0, lambda: None)
+    sim.run(until=40.0)
+    assert timer.remaining() == pytest.approx(60.0)
+
+
+def test_timer_rearm_after_fire():
+    sim = Simulator()
+    fired = []
+    timer = Timer(sim, lambda: fired.append(sim.now))
+    timer.start(10.0)
+    sim.run()
+    timer.start(10.0)
+    sim.run()
+    assert fired == [10.0, 20.0]
+
+
+def test_timer_start_at_absolute_deadline():
+    sim = Simulator()
+    fired = []
+    timer = Timer(sim, lambda: fired.append(sim.now))
+    timer.start_at(123.0)
+    sim.run()
+    assert fired == [123.0]
+
+
+def test_periodic_timer_ticks_until_stopped():
+    sim = Simulator()
+    ticks = []
+
+    timer = PeriodicTimer(sim, 10.0, lambda: ticks.append(sim.now))
+    timer.start()
+    sim.run(until=35.0)
+    timer.stop()
+    sim.run(until=100.0)
+    assert ticks == [10.0, 20.0, 30.0]
+
+
+def test_periodic_timer_rejects_bad_period():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        PeriodicTimer(sim, 0.0, lambda: None)
+
+
+def test_periodic_timer_start_idempotent():
+    sim = Simulator()
+    ticks = []
+    timer = PeriodicTimer(sim, 10.0, lambda: ticks.append(sim.now))
+    timer.start()
+    timer.start()
+    sim.run(until=25.0)
+    assert ticks == [10.0, 20.0]

@@ -1,0 +1,170 @@
+"""Tests for the quantum memory manager and device arbiter."""
+
+import pytest
+
+from repro.network import DeviceArbiter, QuantumMemoryManager, acquire_ordered, release_all
+from repro.netsim import Simulator
+from repro.quantum import bell_dm, create_pair
+
+
+class TestSlotPools:
+    def test_register_and_capacity(self):
+        qmm = QuantumMemoryManager("n")
+        qmm.register_link("l1", 2)
+        assert qmm.free_comm("l1") == 2
+
+    def test_duplicate_link_rejected(self):
+        qmm = QuantumMemoryManager("n")
+        qmm.register_link("l1", 2)
+        with pytest.raises(ValueError):
+            qmm.register_link("l1", 2)
+
+    def test_unknown_link_rejected(self):
+        qmm = QuantumMemoryManager("n")
+        with pytest.raises(KeyError):
+            qmm.free_comm("nope")
+
+    def test_acquire_until_exhausted(self):
+        qmm = QuantumMemoryManager("n")
+        qmm.register_link("l1", 2)
+        s1 = qmm.try_acquire_comm("l1")
+        s2 = qmm.try_acquire_comm("l1")
+        assert s1 is not None and s2 is not None
+        assert qmm.try_acquire_comm("l1") is None
+        assert qmm.free_comm("l1") == 0
+
+    def test_release_restores_capacity(self):
+        qmm = QuantumMemoryManager("n")
+        qmm.register_link("l1", 1)
+        slot = qmm.try_acquire_comm("l1")
+        slot.release()
+        assert qmm.free_comm("l1") == 1
+
+    def test_pools_are_per_link(self):
+        qmm = QuantumMemoryManager("n")
+        qmm.register_link("l1", 1)
+        qmm.register_link("l2", 1)
+        assert qmm.try_acquire_comm("l1") is not None
+        assert qmm.try_acquire_comm("l2") is not None
+
+    def test_storage_pool(self):
+        qmm = QuantumMemoryManager("n")
+        qmm.configure_storage(1)
+        slot = qmm.try_acquire_storage()
+        assert slot is not None
+        assert qmm.try_acquire_storage() is None
+        slot.release()
+        assert qmm.free_storage() == 1
+
+
+class TestCorrelatorRegistry:
+    def make(self):
+        qmm = QuantumMemoryManager("n")
+        qmm.register_link("l1", 2)
+        qa, qb = create_pair(bell_dm(0))
+        slot = qmm.try_acquire_comm("l1")
+        correlator = ("l1", 0)
+        slot.commit(qa, correlator)
+        qmm.bind(correlator, qa)
+        return qmm, correlator, qa
+
+    def test_bind_and_get(self):
+        qmm, correlator, qubit = self.make()
+        assert qmm.get(correlator) is qubit
+        assert qmm.get(("l1", 99)) is None
+
+    def test_duplicate_bind_rejected(self):
+        qmm, correlator, qubit = self.make()
+        with pytest.raises(ValueError):
+            qmm.bind(correlator, qubit)
+
+    def test_free_releases_slot_and_notifies(self):
+        qmm, correlator, qubit = self.make()
+        freed_pools = []
+        qmm.on_slot_freed(freed_pools.append)
+        returned = qmm.free(correlator)
+        assert returned is qubit
+        assert qmm.get(correlator) is None
+        assert qmm.free_comm("l1") == 2
+        assert freed_pools == ["l1"]
+
+    def test_free_unknown_correlator_is_none(self):
+        qmm, _, _ = self.make()
+        assert qmm.free(("l1", 1234)) is None
+
+    def test_release_qubit_without_slot_is_noop(self):
+        qmm = QuantumMemoryManager("n")
+        qa, _ = create_pair(bell_dm(0))
+        qmm.release_qubit(qa)  # no crash
+
+    def test_rebind_slot_moves_pools(self):
+        qmm, correlator, qubit = self.make()
+        qmm.configure_storage(1)
+        freed = []
+        qmm.on_slot_freed(freed.append)
+        storage_slot = qmm.try_acquire_storage()
+        qmm.rebind_slot(qubit, storage_slot)
+        assert qmm.free_comm("l1") == 2
+        assert freed == ["l1"]
+        # Correlator still resolves to the qubit.
+        assert qmm.get(correlator) is qubit
+        # Freeing now releases the storage slot.
+        qmm.free(correlator)
+        assert qmm.free_storage() == 1
+
+    def test_stats(self):
+        qmm, _, _ = self.make()
+        stats = qmm.stats()
+        assert stats["l1"] == (1, 2)
+        assert stats["storage"] == (0, 0)
+
+
+class TestArbiter:
+    def test_parallel_mode_grants_immediately(self):
+        sim = Simulator()
+        arbiter = DeviceArbiter(sim, serialize=False)
+        grants = []
+        arbiter.acquire(lambda: grants.append(sim.now))
+        arbiter.acquire(lambda: grants.append(sim.now))
+        sim.run()
+        assert grants == [0.0, 0.0]
+        arbiter.release()  # no-op in parallel mode
+
+    def test_serial_mode_queues(self):
+        sim = Simulator()
+        arbiter = DeviceArbiter(sim, serialize=True)
+        order = []
+
+        def first():
+            order.append("first")
+            sim.schedule(100.0, lambda: (order.append("first-done"), arbiter.release()))
+
+        arbiter.acquire(first)
+        arbiter.acquire(lambda: order.append("second"))
+        sim.run()
+        assert order == ["first", "first-done", "second"]
+
+    def test_release_without_acquire_raises(self):
+        sim = Simulator()
+        arbiter = DeviceArbiter(sim, serialize=True)
+        with pytest.raises(RuntimeError):
+            arbiter.release()
+
+    def test_acquire_ordered_is_deadlock_free(self):
+        sim = Simulator()
+        arbiter_a = DeviceArbiter(sim, name="a", serialize=True)
+        arbiter_b = DeviceArbiter(sim, name="b", serialize=True)
+        completed = []
+
+        def hold_and_release(tag, pair):
+            def on_granted():
+                completed.append(tag)
+                sim.schedule(10.0, lambda: release_all(pair))
+            acquire_ordered(pair, on_granted)
+
+        # Two workers racing for (a, b) in opposite nominal orders.
+        hold_and_release("w1", [arbiter_a, arbiter_b])
+        hold_and_release("w2", [arbiter_b, arbiter_a])
+        sim.run()
+        assert sorted(completed) == ["w1", "w2"]
+        assert not arbiter_a.busy and not arbiter_b.busy

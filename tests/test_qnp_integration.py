@@ -1,0 +1,252 @@
+"""Full-stack integration tests for the QNP.
+
+Every test drives the complete stack: heralded link generation → link layer
+→ QNP rules → swaps → tracking → delivery, over real simulated hardware.
+"""
+
+import pytest
+
+from repro.core import DeliveryStatus, RequestStatus, RequestType, UserRequest
+from repro.hardware import SIMULATION
+from repro.netsim.units import MS, S
+from repro.network.builder import build_chain_network, build_dumbbell_network
+from repro.quantum import BellIndex
+
+
+def complete_request(net, circuit_id, request, timeout_s=120.0, **kwargs):
+    handle = net.submit(circuit_id, request, **kwargs)
+    net.run_until_complete([handle], timeout_s=timeout_s)
+    return handle
+
+
+class TestTwoNodeCircuit:
+    """Single link: head and tail are adjacent (no swaps at all)."""
+
+    def test_delivers_pairs(self):
+        net = build_chain_network(2, seed=1)
+        circuit_id = net.establish_circuit("node0", "node1", 0.85)
+        handle = complete_request(net, circuit_id, UserRequest(num_pairs=4),
+                                  record_fidelity=True)
+        assert handle.status == RequestStatus.COMPLETED
+        assert len(handle.delivered) == 4
+        assert all(m.fidelity >= 0.85 - 0.02 for m in handle.matched_pairs)
+
+    def test_no_swaps_needed(self):
+        net = build_chain_network(2, seed=1)
+        circuit_id = net.establish_circuit("node0", "node1", 0.85)
+        complete_request(net, circuit_id, UserRequest(num_pairs=3))
+        assert net.qnps["node0"].swaps_performed == 0
+        assert net.qnps["node1"].swaps_performed == 0
+
+
+class TestRepeaterChain:
+    def test_three_node_delivery_and_fidelity(self):
+        net = build_chain_network(3, seed=2)
+        circuit_id = net.establish_circuit("node0", "node2", 0.8)
+        handle = complete_request(net, circuit_id, UserRequest(num_pairs=6),
+                                  record_fidelity=True)
+        assert handle.status == RequestStatus.COMPLETED
+        assert len(handle.matched_pairs) == 6
+        # Every delivered pair beats the target (worst-case budget honoured).
+        for matched in handle.matched_pairs:
+            assert matched.fidelity >= 0.8 - 0.02
+
+    def test_swaps_happen_at_intermediate_only(self):
+        net = build_chain_network(3, seed=2)
+        circuit_id = net.establish_circuit("node0", "node2", 0.8)
+        complete_request(net, circuit_id, UserRequest(num_pairs=5))
+        assert net.qnps["node1"].swaps_performed >= 5
+        assert net.qnps["node0"].swaps_performed == 0
+
+    def test_bell_state_reported_matches_ground_truth(self):
+        """The lazy-tracking XOR algebra against the simulated physics."""
+        net = build_chain_network(3, seed=3)
+        circuit_id = net.establish_circuit("node0", "node2", 0.8)
+        handle = complete_request(net, circuit_id, UserRequest(num_pairs=8),
+                                  record_fidelity=True)
+        for matched in handle.matched_pairs:
+            # Reported Bell state must agree at both ends and be the state
+            # the pair is actually (mostly) in.
+            assert matched.head_delivery.bell_state == matched.tail_delivery.bell_state
+            assert matched.fidelity > 0.5
+
+    def test_four_node_chain(self):
+        net = build_chain_network(4, seed=4)
+        circuit_id = net.establish_circuit("node0", "node3", 0.75)
+        handle = complete_request(net, circuit_id, UserRequest(num_pairs=4),
+                                  record_fidelity=True, timeout_s=200)
+        assert handle.status == RequestStatus.COMPLETED
+        for matched in handle.matched_pairs:
+            assert matched.fidelity >= 0.75 - 0.03
+
+    def test_latency_reasonable_for_chain(self):
+        # ~10 ms per 0.95 link pair; an 0.8 circuit is faster.  A 5-pair
+        # request should finish within a couple of simulated seconds.
+        net = build_chain_network(3, seed=5)
+        circuit_id = net.establish_circuit("node0", "node2", 0.8)
+        handle = complete_request(net, circuit_id, UserRequest(num_pairs=5))
+        assert handle.latency is not None
+        assert handle.latency < 5 * S
+
+
+class TestFinalState:
+    def test_pauli_correction_to_requested_state(self):
+        net = build_chain_network(3, seed=6)
+        circuit_id = net.establish_circuit("node0", "node2", 0.8)
+        handle = complete_request(
+            net, circuit_id,
+            UserRequest(num_pairs=6, final_state=BellIndex.PHI_PLUS),
+            record_fidelity=True)
+        assert handle.status == RequestStatus.COMPLETED
+        for matched in handle.matched_pairs:
+            assert matched.head_delivery.bell_state == BellIndex.PHI_PLUS
+            # Fidelity is measured against the reported state: correction
+            # really happened physically.
+            assert matched.fidelity >= 0.75
+
+
+class TestMeasureRequests:
+    def test_outcomes_delivered_with_bell_state(self):
+        net = build_chain_network(3, seed=7)
+        circuit_id = net.establish_circuit("node0", "node2", 0.8)
+        handle = complete_request(
+            net, circuit_id,
+            UserRequest(num_pairs=10, request_type=RequestType.MEASURE,
+                        measure_basis="Z"))
+        assert handle.status == RequestStatus.COMPLETED
+        for delivery in handle.delivered:
+            assert delivery.measurement in (0, 1)
+            assert delivery.qubit is None
+            assert delivery.bell_state is not None
+
+    def test_measurement_correlations(self):
+        """BBM92 sanity: Z⊗Z outcomes correlate according to the Bell state.
+
+        For an F≥0.9 circuit the Z error rate e_Z = p1+p3 is bounded by
+        1−F = 0.1, so the correlation ratio must clear 0.85 comfortably.
+        """
+        net = build_chain_network(3, seed=8)
+        circuit_id = net.establish_circuit("node0", "node2", 0.9)
+        handle = complete_request(
+            net, circuit_id,
+            UserRequest(num_pairs=40, request_type=RequestType.MEASURE),
+            timeout_s=300)
+        tail_by_pair = {d.pair_id: d for d in handle.tail_deliveries
+                        if d.status == DeliveryStatus.CONFIRMED}
+        checked = 0
+        good = 0
+        for head_delivery in handle.delivered:
+            tail_delivery = tail_by_pair.get(head_delivery.pair_id)
+            if tail_delivery is None:
+                continue
+            checked += 1
+            # Ψ states anticorrelate in Z, Φ states correlate.
+            parity = int(head_delivery.bell_state) & 1
+            if (head_delivery.measurement ^ tail_delivery.measurement) == parity:
+                good += 1
+        assert checked >= 30
+        assert good / checked > 0.85  # QBER well below 15%
+
+
+class TestEarlyDelivery:
+    def test_pending_then_confirmed(self):
+        net = build_chain_network(3, seed=9)
+        circuit_id = net.establish_circuit("node0", "node2", 0.8)
+        events = []
+        handle = net.submit(circuit_id,
+                            UserRequest(num_pairs=3,
+                                        request_type=RequestType.EARLY))
+        handle.on_delivery(lambda d: events.append((d.status, d.pair_id)))
+        net.run_until_complete([handle], timeout_s=120)
+        assert handle.status == RequestStatus.COMPLETED
+        statuses = [status for status, _ in events]
+        assert DeliveryStatus.PENDING in statuses
+        assert statuses.count(DeliveryStatus.CONFIRMED) == 3
+        # Confirmation carries the Bell state.
+        confirmed = [d for d in handle.delivered if d.status == DeliveryStatus.CONFIRMED]
+        assert all(d.bell_state is not None for d in confirmed)
+
+
+class TestAggregation:
+    def test_multiple_requests_share_circuit(self):
+        net = build_chain_network(3, seed=10)
+        circuit_id = net.establish_circuit("node0", "node2", 0.8)
+        handles = [net.submit(circuit_id, UserRequest(num_pairs=4))
+                   for _ in range(3)]
+        net.run_until_complete(handles, timeout_s=300)
+        for handle in handles:
+            assert handle.status == RequestStatus.COMPLETED
+            assert len(handle.delivered) == 4
+
+    def test_sequential_requests(self):
+        net = build_chain_network(3, seed=11)
+        circuit_id = net.establish_circuit("node0", "node2", 0.8)
+        first = complete_request(net, circuit_id, UserRequest(num_pairs=3))
+        second = complete_request(net, circuit_id, UserRequest(num_pairs=3))
+        assert first.status == second.status == RequestStatus.COMPLETED
+
+    def test_rate_request_cancel(self):
+        net = build_chain_network(3, seed=12)
+        circuit_id = net.establish_circuit("node0", "node2", 0.8)
+        handle = net.submit(circuit_id, UserRequest(rate=5.0))
+        net.run(until_s=net.sim.now / 1e9 + 3.0)
+        delivered_before = len(handle.delivered)
+        assert delivered_before > 0
+        net.qnps["node0"].cancel(circuit_id, handle.request_id)
+        assert handle.status == RequestStatus.COMPLETED
+
+
+class TestPolicingAndShaping:
+    def test_oversized_request_rejected(self):
+        net = build_chain_network(3, seed=13)
+        circuit_id = net.establish_circuit("node0", "node2", 0.8, max_eer=5.0)
+        handle = net.submit(circuit_id, UserRequest(rate=50.0))
+        assert handle.status == RequestStatus.REJECTED
+        assert not handle.delivered
+
+    def test_shaped_request_starts_after_first_completes(self):
+        net = build_chain_network(3, seed=14)
+        circuit_id = net.establish_circuit("node0", "node2", 0.8, max_eer=10.0)
+        first = net.submit(circuit_id, UserRequest(num_pairs=3, delta_t=0.5 * S))
+        second = net.submit(circuit_id, UserRequest(num_pairs=3, delta_t=0.5 * S))
+        assert first.status == RequestStatus.ACTIVE
+        assert second.status == RequestStatus.QUEUED
+        net.run_until_complete([first, second], timeout_s=300)
+        assert first.status == RequestStatus.COMPLETED
+        assert second.status == RequestStatus.COMPLETED
+        assert second.t_started >= first.t_completed
+
+
+class TestDumbbell:
+    def test_competing_circuits_both_progress(self):
+        net = build_dumbbell_network(seed=15)
+        first = net.establish_circuit("A0", "B0", 0.8, "short")
+        second = net.establish_circuit("A1", "B1", 0.8, "short")
+        handle_a = net.submit(first, UserRequest(num_pairs=5))
+        handle_b = net.submit(second, UserRequest(num_pairs=5))
+        net.run_until_complete([handle_a, handle_b], timeout_s=300)
+        assert handle_a.status == RequestStatus.COMPLETED
+        assert handle_b.status == RequestStatus.COMPLETED
+
+    def test_bottleneck_is_shared(self):
+        net = build_dumbbell_network(seed=16)
+        first = net.establish_circuit("A0", "B0", 0.8, "short")
+        second = net.establish_circuit("A1", "B1", 0.8, "short")
+        net.submit(first, UserRequest(num_pairs=1000))
+        net.submit(second, UserRequest(num_pairs=1000))
+        net.run(until_s=net.sim.now / 1e9 + 5.0)
+        bottleneck = net.link_between("MA", "MB")
+        # Both circuit labels produced pairs on the bottleneck.
+        assert bottleneck.pairs_generated > 10
+
+
+class TestStatistics:
+    def test_counters_track_activity(self):
+        net = build_chain_network(3, seed=17)
+        circuit_id = net.establish_circuit("node0", "node2", 0.8)
+        complete_request(net, circuit_id, UserRequest(num_pairs=5))
+        middle = net.qnps["node1"]
+        assert middle.swaps_performed >= 5
+        assert middle.tracks_relayed >= 5
+        head = net.qnps["node0"]
+        assert head.pairs_delivered == 5

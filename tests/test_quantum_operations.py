@@ -1,0 +1,265 @@
+"""Tests for high-level quantum operations, including the swap law.
+
+The most load-bearing test here verifies — for all 64 combinations of input
+Bell states and measurement outcomes — that the XOR composition law used by
+the QNP's entanglement tracking agrees with the exact density-matrix engine.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.quantum import (
+    H,
+    NoisyOpParams,
+    QState,
+    Qubit,
+    X,
+    apply_gate,
+    apply_two_qubit_gate,
+    averaged_swap_dm,
+    bell_dm,
+    bell_fidelity,
+    bell_state_measurement,
+    create_bell_pair,
+    create_pair,
+    discard,
+    measure_qubit,
+    pair_fidelity,
+    pauli_correct,
+    swap_combine,
+    teleport,
+    werner_dm,
+    CNOT,
+)
+
+
+def test_create_pair_holds_given_dm():
+    dm = werner_dm(0.9)
+    qa, qb = create_pair(dm)
+    assert np.allclose(qa.state.reduced_dm([qa, qb]), dm)
+    assert qa.state is qb.state
+
+
+def test_create_bell_pair_fidelity():
+    qa, qb = create_bell_pair(index=1, fidelity=0.85)
+    assert pair_fidelity(qa, qb, 1) == pytest.approx(0.85)
+
+
+def test_swap_law_matches_exact_engine():
+    """The Appendix C combine_state law, checked exhaustively."""
+    for state_a in range(4):
+        for state_b in range(4):
+            seen = set()
+            attempts = 0
+            # Sample outcomes until we've seen all four (they are uniform).
+            rng = random.Random(state_a * 7 + state_b)
+            while len(seen) < 4 and attempts < 500:
+                attempts += 1
+                qa, q_mid1 = create_pair(bell_dm(state_a))
+                q_mid2, qc = create_pair(bell_dm(state_b))
+                outcome = bell_state_measurement(q_mid1, q_mid2, rng)
+                seen.add(outcome)
+                expected_index = swap_combine(state_a, state_b, outcome)
+                fidelity = pair_fidelity(qa, qc, expected_index)
+                assert fidelity == pytest.approx(1.0), (
+                    f"inputs B{state_a},B{state_b} outcome {outcome}")
+            assert seen == {0, 1, 2, 3}
+
+
+def test_swap_outcomes_uniform():
+    rng = random.Random(9)
+    counts = [0] * 4
+    for _ in range(400):
+        qa, q_mid1 = create_pair(bell_dm(0))
+        q_mid2, qc = create_pair(bell_dm(0))
+        counts[bell_state_measurement(q_mid1, q_mid2, rng)] += 1
+    for count in counts:
+        assert 60 < count < 140
+
+
+def test_swap_of_werner_pairs_reduces_fidelity():
+    rng = random.Random(3)
+    fidelities = []
+    for _ in range(60):
+        qa, q_mid1 = create_pair(werner_dm(0.95))
+        q_mid2, qc = create_pair(werner_dm(0.95))
+        outcome = bell_state_measurement(q_mid1, q_mid2, rng)
+        fidelities.append(pair_fidelity(qa, qc, swap_combine(0, 0, outcome)))
+    mean_fidelity = np.mean(fidelities)
+    # Werner swap analytics: F' = F² + (1−F)²/3 ≈ 0.903 for F=0.95.
+    expected = 0.95 ** 2 + 3 * ((0.05 / 3) ** 2)
+    assert mean_fidelity == pytest.approx(expected, abs=1e-9)
+
+
+def test_noisy_swap_lowers_fidelity_further():
+    rng = random.Random(5)
+    ops = NoisyOpParams(two_qubit_gate_fidelity=0.99)
+    qa, q_mid1 = create_pair(bell_dm(0))
+    q_mid2, qc = create_pair(bell_dm(0))
+    outcome = bell_state_measurement(q_mid1, q_mid2, rng, ops)
+    fidelity = pair_fidelity(qa, qc, swap_combine(0, 0, outcome))
+    assert fidelity < 1.0
+    assert fidelity > 0.9
+
+
+def test_readout_error_mislabels_outcome():
+    # With readout error 1.0 on both outcomes, both reported bits flip: the
+    # reported outcome is the true outcome XOR 0b11.
+    rng = random.Random(11)
+    ops = NoisyOpParams(readout_error0=1.0, readout_error1=1.0)
+    qa, q_mid1 = create_pair(bell_dm(0))
+    q_mid2, qc = create_pair(bell_dm(0))
+    reported = bell_state_measurement(q_mid1, q_mid2, rng, ops)
+    true_outcome = reported ^ 0b11
+    assert pair_fidelity(qa, qc, swap_combine(0, 0, true_outcome)) == pytest.approx(1.0)
+
+
+def test_pauli_correct_rotates_frames():
+    for start in range(4):
+        for target in range(4):
+            qa, qb = create_pair(bell_dm(start))
+            pauli_correct(qb, start ^ target)
+            assert pair_fidelity(qa, qb, target) == pytest.approx(1.0)
+
+
+def test_pauli_correct_identity_frame_is_noop():
+    qa, qb = create_pair(bell_dm(0))
+    before = qa.state.dm.copy()
+    pauli_correct(qb, 0)
+    assert np.allclose(qa.state.dm, before)
+
+
+def test_measure_qubit_bases():
+    rng = random.Random(2)
+    # |+⟩ measured in X is deterministic 0.
+    qubit = Qubit()
+    QState.ground(qubit)
+    apply_gate(qubit, H)
+    assert measure_qubit(qubit, rng, basis="X") == 0
+    # |0⟩ in Z is deterministic 0.
+    qubit = Qubit()
+    QState.ground(qubit)
+    assert measure_qubit(qubit, rng, basis="Z") == 0
+
+
+def test_measure_qubit_y_basis_statistics():
+    rng = random.Random(4)
+    outcomes = []
+    for _ in range(200):
+        qubit = Qubit()
+        QState.ground(qubit)
+        outcomes.append(measure_qubit(qubit, rng, basis="Y"))
+    # |0⟩ in Y basis is uniform.
+    assert 60 < sum(outcomes) < 140
+
+
+def test_measure_qubit_unknown_basis():
+    rng = random.Random(0)
+    qubit = Qubit()
+    QState.ground(qubit)
+    with pytest.raises(ValueError):
+        measure_qubit(qubit, rng, basis="W")
+
+
+def test_measure_freed_qubit_raises():
+    rng = random.Random(0)
+    qubit = Qubit()
+    QState.ground(qubit)
+    measure_qubit(qubit, rng)
+    with pytest.raises(ValueError):
+        measure_qubit(qubit, rng)
+
+
+def test_bell_measurement_correlations_of_pair():
+    # Measuring both halves of Φ+ in Z gives equal bits; Ψ+ gives opposite.
+    rng = random.Random(8)
+    for _ in range(50):
+        qa, qb = create_pair(bell_dm(0))
+        assert measure_qubit(qa, rng) == measure_qubit(qb, rng)
+    for _ in range(50):
+        qa, qb = create_pair(bell_dm(1))
+        assert measure_qubit(qa, rng) != measure_qubit(qb, rng)
+
+
+def test_discard_frees_qubit_and_keeps_partner_valid():
+    qa, qb = create_pair(bell_dm(0))
+    state = qa.state
+    discard(qa)
+    assert qa.state is None
+    assert qb.state is state
+    assert state.is_valid()
+    # Partner is maximally mixed now.
+    assert np.allclose(state.reduced_dm([qb]), np.eye(2) / 2, atol=1e-12)
+
+
+def test_discard_idempotent():
+    qa, qb = create_pair(bell_dm(0))
+    discard(qa)
+    discard(qa)
+    assert qa.state is None
+
+
+def test_averaged_swap_dm_perfect_inputs():
+    result = averaged_swap_dm(bell_dm(0), bell_dm(0))
+    assert bell_fidelity(result, 0) == pytest.approx(1.0)
+
+
+def test_averaged_swap_dm_werner_matches_analytics():
+    result = averaged_swap_dm(werner_dm(0.9), werner_dm(0.9))
+    # Werner ⋆ Werner fidelity: F² + 3((1−F)/3)².
+    expected = 0.9 ** 2 + 3 * ((0.1 / 3) ** 2)
+    assert bell_fidelity(result, 0) == pytest.approx(expected, abs=1e-9)
+    assert np.trace(result) == pytest.approx(1.0)
+
+
+def test_averaged_swap_dm_with_gate_noise_is_worse():
+    clean = averaged_swap_dm(werner_dm(0.95), werner_dm(0.95))
+    noisy = averaged_swap_dm(werner_dm(0.95), werner_dm(0.95),
+                             NoisyOpParams(two_qubit_gate_fidelity=0.99))
+    assert bell_fidelity(noisy, 0) < bell_fidelity(clean, 0)
+
+
+def test_averaged_swap_dm_with_readout_error_is_worse():
+    clean = averaged_swap_dm(werner_dm(0.95), werner_dm(0.95))
+    noisy = averaged_swap_dm(werner_dm(0.95), werner_dm(0.95),
+                             NoisyOpParams(readout_error0=0.05, readout_error1=0.05))
+    assert bell_fidelity(noisy, 0) < bell_fidelity(clean, 0)
+
+
+def test_teleportation_moves_arbitrary_state():
+    rng = random.Random(6)
+    for _ in range(10):
+        # Random data qubit state.
+        theta = rng.random() * np.pi
+        data = Qubit()
+        state = QState.ground(data)
+        rotation = np.array([[np.cos(theta / 2), -np.sin(theta / 2)],
+                             [np.sin(theta / 2), np.cos(theta / 2)]], dtype=complex)
+        state.apply_unitary(rotation, [data])
+        expected_vector = rotation @ np.array([1.0, 0.0], dtype=complex)
+
+        near, far = create_pair(bell_dm(0))
+        out = teleport(data, near, far, rng)
+        dm = out.state.reduced_dm([out])
+        fidelity = float(np.real(expected_vector.conj() @ dm @ expected_vector))
+        assert fidelity == pytest.approx(1.0)
+
+
+def test_apply_two_qubit_gate_merges_states():
+    qa, qb = Qubit(), Qubit()
+    QState.ground(qa), QState.ground(qb)
+    apply_gate(qa, H)
+    apply_two_qubit_gate(qa, qb, CNOT)
+    assert qa.state is qb.state
+    assert pair_fidelity(qa, qb, 0) == pytest.approx(1.0)
+
+
+def test_noisy_op_params_depolar_probability_mapping():
+    ops = NoisyOpParams(two_qubit_gate_fidelity=0.998)
+    assert ops.two_qubit_depolar_prob == pytest.approx(0.0025)
+    perfect = NoisyOpParams()
+    assert perfect.two_qubit_depolar_prob == 0.0
+    floor = NoisyOpParams(two_qubit_gate_fidelity=0.0)
+    assert floor.two_qubit_depolar_prob == 1.0

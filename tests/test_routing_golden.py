@@ -1,0 +1,76 @@
+"""Golden-value regression tests for the routing fidelity budget.
+
+These pin the controller's numeric outputs for canonical inputs so that
+any change to the physics models or the budget algorithm shows up as an
+explicit diff, not a silent drift of every benchmark.
+"""
+
+import pytest
+
+from repro.netsim.units import MS, S
+from repro.network.builder import build_chain_network, build_dumbbell_network
+
+
+@pytest.fixture(scope="module")
+def chain3():
+    return build_chain_network(3, seed=1)
+
+
+@pytest.fixture(scope="module")
+def dumbbell():
+    return build_dumbbell_network(seed=1)
+
+
+class TestGoldenChain3:
+    """Two links, one repeater, simulation parameters, 2 m fibre."""
+
+    def test_budget_for_f08(self, chain3):
+        route = chain3.controller.compute_route("node0", "node2", 0.8)
+        assert route.link_fidelity == pytest.approx(0.9077, abs=0.003)
+        assert route.cutoff == pytest.approx(907 * MS, rel=0.05)
+        assert route.estimated_fidelity == pytest.approx(0.800, abs=0.002)
+        assert route.max_lpr == pytest.approx(188, rel=0.05)
+
+    def test_budget_for_f09(self, chain3):
+        route = chain3.controller.compute_route("node0", "node2", 0.9)
+        assert route.link_fidelity == pytest.approx(0.9653, abs=0.003)
+        assert route.estimated_fidelity >= 0.9
+
+    def test_short_cutoff_value(self, chain3):
+        route = chain3.controller.compute_route("node0", "node2", 0.8, "short")
+        # 0.85 generation quantile at the (relaxed) link fidelity: ~10 ms.
+        assert 4 * MS < route.cutoff < 25 * MS
+        assert route.link_fidelity < 0.9077  # relaxed vs the loss cutoff
+
+
+class TestGoldenDumbbell:
+    """Three links A0-MA-MB-B0."""
+
+    def test_budget_for_f08(self, dumbbell):
+        route = dumbbell.controller.compute_route("A0", "B0", 0.8)
+        assert route.num_links == 3
+        assert route.link_fidelity == pytest.approx(0.9436, abs=0.004)
+        assert route.estimated_fidelity == pytest.approx(0.800, abs=0.002)
+
+    def test_eer_below_lpr_for_short_cutoff(self, dumbbell):
+        route = dumbbell.controller.compute_route("A0", "B0", 0.8, "short")
+        assert route.eer == pytest.approx(route.max_lpr * 0.85, rel=0.01)
+
+
+class TestGoldenLinkModel:
+    def test_f095_alpha_and_rate(self, chain3):
+        link = chain3.link_between("node0", "node1")
+        alpha = link.model.alpha_for_fidelity(0.95)
+        assert alpha == pytest.approx(0.0455, abs=0.004)
+        assert link.model.expected_pair_time(alpha) == pytest.approx(
+            10.2 * MS, rel=0.1)
+
+    def test_cycle_time(self, chain3):
+        link = chain3.link_between("node0", "node1")
+        assert link.model.cycle_time == pytest.approx(10.55e3, rel=0.02)
+
+    def test_fidelity_ceiling(self, chain3):
+        link = chain3.link_between("node0", "node1")
+        best = max(link.model.fidelity(a) for a in
+                   (0.001, 0.002, 0.005, 0.01, 0.02, 0.05))
+        assert best == pytest.approx(0.985, abs=0.01)

@@ -1,0 +1,176 @@
+"""Tests for the services built on the QNP: distillation, QKD, test rounds."""
+
+import random
+
+import pytest
+
+from repro.core import UserRequest
+from repro.network.builder import build_chain_network
+from repro.quantum import (
+    NoisyOpParams,
+    bell_dm,
+    create_pair,
+    pair_fidelity,
+    werner_dm,
+)
+from repro.services import (
+    DistillationModule,
+    dejmps_round,
+    run_bbm92,
+    run_test_rounds,
+    theoretical_dejmps_fidelity,
+    theoretical_dejmps_success,
+)
+
+
+class TestDejmps:
+    def test_perfect_pairs_always_succeed(self):
+        rng = random.Random(1)
+        for _ in range(20):
+            pair_one = create_pair(bell_dm(0))
+            pair_two = create_pair(bell_dm(0))
+            outcome = dejmps_round(pair_one, pair_two, rng)
+            assert outcome.success
+            assert pair_fidelity(outcome.keep_a, outcome.keep_b, 0) == \
+                pytest.approx(1.0)
+
+    def test_failure_discards_pairs(self):
+        rng = random.Random(2)
+        # Low fidelity inputs fail often; find a failing round.
+        for _ in range(200):
+            pair_one = create_pair(werner_dm(0.6))
+            pair_two = create_pair(werner_dm(0.6))
+            outcome = dejmps_round(pair_one, pair_two, rng)
+            if not outcome.success:
+                assert outcome.keep_a is None
+                assert pair_one[0].state is None
+                return
+        pytest.fail("no DEJMPS failure observed at F=0.6")
+
+    def test_distillation_improves_werner_fidelity(self):
+        rng = random.Random(3)
+        input_fidelity = 0.8
+        fidelities = []
+        for _ in range(300):
+            pair_one = create_pair(werner_dm(input_fidelity))
+            pair_two = create_pair(werner_dm(input_fidelity))
+            outcome = dejmps_round(pair_one, pair_two, rng)
+            if outcome.success:
+                fidelities.append(pair_fidelity(outcome.keep_a, outcome.keep_b, 0))
+        measured = sum(fidelities) / len(fidelities)
+        expected = theoretical_dejmps_fidelity(input_fidelity)
+        assert measured == pytest.approx(expected, abs=0.02)
+        assert measured > input_fidelity
+
+    def test_success_rate_matches_theory(self):
+        rng = random.Random(4)
+        input_fidelity = 0.8
+        successes = 0
+        trials = 400
+        for _ in range(trials):
+            pair_one = create_pair(werner_dm(input_fidelity))
+            pair_two = create_pair(werner_dm(input_fidelity))
+            if dejmps_round(pair_one, pair_two, rng).success:
+                successes += 1
+        expected = theoretical_dejmps_success(input_fidelity)
+        assert successes / trials == pytest.approx(expected, abs=0.07)
+
+    def test_noisy_gates_reduce_gain(self):
+        rng = random.Random(5)
+        noisy_ops = NoisyOpParams(two_qubit_gate_fidelity=0.97)
+        clean, noisy = [], []
+        for _ in range(200):
+            outcome = dejmps_round(create_pair(werner_dm(0.85)),
+                                   create_pair(werner_dm(0.85)), rng)
+            if outcome.success:
+                clean.append(pair_fidelity(outcome.keep_a, outcome.keep_b, 0))
+            outcome = dejmps_round(create_pair(werner_dm(0.85)),
+                                   create_pair(werner_dm(0.85)), rng, noisy_ops)
+            if outcome.success:
+                noisy.append(pair_fidelity(outcome.keep_a, outcome.keep_b, 0))
+        assert sum(noisy) / len(noisy) < sum(clean) / len(clean)
+
+    def test_module_pairs_up_deliveries(self):
+        rng = random.Random(6)
+        module = DistillationModule(rng)
+        for index in range(6):
+            qa, qb = create_pair(bell_dm(1))  # Ψ+ deliveries, like the QNP
+            module.absorb(qa, qb, bell_state=1)
+        assert module.rounds_attempted == 3
+        assert module.rounds_succeeded == 3  # pure inputs always succeed
+        for keep_a, keep_b in module.distilled:
+            assert pair_fidelity(keep_a, keep_b, 0) == pytest.approx(1.0)
+
+    def test_theory_helpers_monotone(self):
+        assert theoretical_dejmps_fidelity(0.9) > 0.9
+        assert theoretical_dejmps_fidelity(0.7) > 0.7
+        assert 0 < theoretical_dejmps_success(0.8) <= 1.0
+
+    def test_module_validates_levels(self):
+        with pytest.raises(ValueError):
+            DistillationModule(random.Random(0), levels=0)
+
+    def test_two_level_distillation_purifies_heralded_error_mix(self):
+        """Single-click pairs carry p1 ≈ p3 errors: one DEJMPS round is
+        neutral, two rounds purify strongly (the DEJMPS two-cycle)."""
+        import numpy as np
+
+        from repro.quantum import bell_diagonal_dm
+
+        rng = random.Random(8)
+        weights = np.array([0.83, 0.085, 0.0, 0.085])
+        one = DistillationModule(rng, levels=1)
+        two = DistillationModule(rng, levels=2)
+        for module in (one, two):
+            for _ in range(64):
+                qa, qb = create_pair(bell_diagonal_dm(weights))
+                module.absorb(qa, qb, bell_state=0)
+        fidelity_one = sum(pair_fidelity(a, b, 0) for a, b in one.distilled) \
+            / len(one.distilled)
+        fidelity_two = sum(pair_fidelity(a, b, 0) for a, b in two.distilled) \
+            / len(two.distilled)
+        assert abs(fidelity_one - 0.83) < 0.03      # round 1 ≈ neutral
+        assert fidelity_two > 0.92                  # round 2 purifies
+
+
+class TestQkdOverStack:
+    def test_bbm92_produces_low_qber_key(self):
+        net = build_chain_network(3, seed=21)
+        circuit_id = net.establish_circuit("node0", "node2", 0.85)
+        key = run_bbm92(net, circuit_id, num_pairs=60, timeout_s=600)
+        # Roughly half the rounds survive sifting.
+        assert key.sifted_rounds > 15
+        assert 0.25 < key.sift_ratio < 0.75
+        # F ≥ 0.85 pairs → QBER comfortably below the ~11% QKD limit.
+        assert key.qber < 0.11
+        assert len(key.key_bits) == key.sifted_rounds
+
+
+class TestFidelityTestRounds:
+    def test_estimate_brackets_ground_truth(self):
+        net = build_chain_network(3, seed=22)
+        circuit_id = net.establish_circuit("node0", "node2", 0.85)
+        estimate = run_test_rounds(net, circuit_id, rounds_per_basis=30,
+                                   timeout_s=600)
+        assert estimate.rounds_z > 20
+        assert estimate.rounds_x > 20
+        # 1 − e_Z − e_X is a *lower* bound on fidelity (p0 − p3): it may sit
+        # below the 0.85 target but must stay within statistical noise of
+        # the plausible band and never exceed 1.
+        noise = 3 * estimate.standard_error() + 0.03
+        assert 0.70 <= estimate.fidelity_lower_bound <= 1.0
+        assert estimate.fidelity_lower_bound >= 0.85 - 2 * (1 - 0.85) - noise
+
+    def test_estimate_detects_bad_circuit(self):
+        """Test rounds on a deliberately mis-budgeted circuit read low."""
+        from repro.hardware import SIMULATION
+        from repro.netsim.units import S
+
+        net = build_chain_network(3, seed=23,
+                                  params=SIMULATION.with_t2(0.02 * S))
+        circuit_id = net.establish_circuit_manual(
+            ["node0", "node1", "node2"], link_fidelity=0.9, cutoff=None,
+            max_eer=100.0, estimated_fidelity=0.9)
+        estimate = run_test_rounds(net, circuit_id, rounds_per_basis=25,
+                                   timeout_s=600)
+        assert estimate.fidelity_lower_bound < 0.85
