@@ -8,15 +8,16 @@ heralded-state construction and a full link-layer generation round.
 
 import random
 
+import pytest
+
 from repro.hardware import HeraldedConnection, SIMULATION, SingleClickModel
 from repro.netsim import Simulator
 from repro.quantum import (
     NoisyOpParams,
     averaged_swap_dm,
-    bell_dm,
     bell_state_measurement,
-    create_pair,
     decoherence_kraus,
+    get_backend,
     werner_dm,
 )
 
@@ -35,12 +36,15 @@ def test_micro_event_scheduling(benchmark):
     assert benchmark(schedule_and_drain) == 1000
 
 
-def test_micro_bell_state_measurement(benchmark):
+@pytest.mark.parametrize("formalism", ["dm", "bell"])
+def test_micro_bell_state_measurement(benchmark, formalism):
     rng = random.Random(1)
+    backend = get_backend(formalism)
+    weights = (0.95, 0.05 / 3, 0.05 / 3, 0.05 / 3)
 
     def swap_once():
-        qa, q_mid1 = create_pair(werner_dm(0.95))
-        q_mid2, qc = create_pair(werner_dm(0.95))
+        qa, q_mid1 = backend.create_pair_from_weights(weights)
+        q_mid2, qc = backend.create_pair_from_weights(weights)
         return bell_state_measurement(q_mid1, q_mid2, rng, OPS)
 
     assert benchmark(swap_once) in range(4)
@@ -75,12 +79,13 @@ def test_micro_heralded_state(benchmark):
     assert sample.attempts >= 1
 
 
-def test_micro_link_generation_round(benchmark):
+@pytest.mark.parametrize("formalism", ["dm", "bell"])
+def test_micro_link_generation_round(benchmark, formalism):
     """Full stack cost of producing ~20 link pairs on one link."""
     from repro.network.builder import build_chain_network
 
     def produce_pairs():
-        net = build_chain_network(2, seed=9)
+        net = build_chain_network(2, seed=9, formalism=formalism)
         link = net.link_between("node0", "node1")
         count = [0]
 

@@ -1,0 +1,188 @@
+#!/usr/bin/env python
+"""Perf-trajectory harness: micro benchmarks on both state backends.
+
+Runs the engine micro benchmarks (the ops behind ``bench_micro_engine.py``)
+on the exact density-matrix formalism *and* the Bell-diagonal formalism and
+writes ``BENCH_<rev>.json`` (median ns per op, plus the bell-vs-dm speedup
+ratios) so the performance trajectory is tracked across PRs::
+
+    PYTHONPATH=src python benchmarks/run_bench.py            # BENCH_<git rev>.json
+    PYTHONPATH=src python benchmarks/run_bench.py --out x.json --rounds 9
+
+No pytest-benchmark dependency: plain ``perf_counter_ns`` medians, which is
+what the JSON trail needs (comparable numbers, not statistics).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import statistics
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+
+def _git_revision() -> str:
+    try:
+        out = subprocess.run(["git", "rev-parse", "--short", "HEAD"],
+                             capture_output=True, text=True, check=True,
+                             cwd=Path(__file__).resolve().parent)
+        return out.stdout.strip() or "dev"
+    except Exception:
+        return "dev"
+
+
+def _median_ns(fn, iterations: int, rounds: int) -> float:
+    """Median wall time per call over ``rounds`` timed batches."""
+    fn()  # warm caches — steady-state cost is what the trajectory tracks
+    samples = []
+    for _ in range(rounds):
+        start = time.perf_counter_ns()
+        for _ in range(iterations):
+            fn()
+        samples.append((time.perf_counter_ns() - start) / iterations)
+    return statistics.median(samples)
+
+
+# ----------------------------------------------------------------------
+# Benchmark bodies (mirror bench_micro_engine.py without the pytest layer)
+# ----------------------------------------------------------------------
+
+def bench_decoherence_channel():
+    from repro.quantum import decoherence_kraus
+
+    return lambda: decoherence_kraus(5e6, 3.6e12, 6e10)
+
+
+def bench_heralded_sample():
+    from repro.hardware import HeraldedConnection, SIMULATION, SingleClickModel
+
+    model = SingleClickModel(SIMULATION, HeraldedConnection.lab(0.002))
+    rng = random.Random(2)
+    return lambda: model.sample(0.05, rng)
+
+
+def bench_alpha_for_fidelity():
+    from repro.hardware import HeraldedConnection, SIMULATION, SingleClickModel
+
+    state = {"n": 0}
+
+    def run():
+        # Fresh model each call: measures the uncached scan (the set_request
+        # path on a new link), not the dict hit.
+        model = SingleClickModel(SIMULATION, HeraldedConnection.lab(0.002))
+        state["n"] += 1
+        return model.alpha_for_fidelity(0.9)
+
+    return run
+
+
+def bench_bsm(formalism: str):
+    from repro.quantum import NoisyOpParams, bell_state_measurement, get_backend
+
+    ops = NoisyOpParams(two_qubit_gate_fidelity=0.998,
+                        readout_error0=0.002, readout_error1=0.002)
+    backend = get_backend(formalism)
+    weights = (0.95, 0.05 / 3, 0.05 / 3, 0.05 / 3)
+    rng = random.Random(1)
+
+    def run():
+        qa, mid1 = backend.create_pair_from_weights(weights)
+        mid2, qc = backend.create_pair_from_weights(weights)
+        return bell_state_measurement(mid1, mid2, rng, ops)
+
+    return run
+
+
+def bench_averaged_swap_map():
+    from repro.quantum import NoisyOpParams, averaged_swap_dm, werner_dm
+
+    ops = NoisyOpParams(two_qubit_gate_fidelity=0.998,
+                        readout_error0=0.002, readout_error1=0.002)
+    rho = werner_dm(0.9)
+    return lambda: averaged_swap_dm(rho, rho, ops)
+
+
+def bench_link_generation_round(formalism: str):
+    from repro.network.builder import build_chain_network
+
+    def run():
+        net = build_chain_network(2, seed=9, formalism=formalism)
+        link = net.link_between("node0", "node1")
+        count = [0]
+
+        def consume(delivery):
+            count[0] += 1
+            for name in ("node0", "node1"):
+                net.node(name).qmm.free(delivery.entanglement_id)
+
+        link.register_handler("node0", consume)
+        link.register_handler("node1", lambda d: None)
+        link.set_request("micro", min_fidelity=0.9, lpr=100.0)
+        net.sim.run(until=1e8)  # 100 ms simulated
+        assert count[0] > 5
+        return count[0]
+
+    return run
+
+
+#: name → (factory, iterations per round)
+BENCHMARKS = {
+    "decoherence_channel": (bench_decoherence_channel, 2000),
+    "heralded_sample": (bench_heralded_sample, 2000),
+    "alpha_for_fidelity": (bench_alpha_for_fidelity, 20),
+    "bsm_dm": (lambda: bench_bsm("dm"), 50),
+    "bsm_bell": (lambda: bench_bsm("bell"), 500),
+    "averaged_swap_map": (bench_averaged_swap_map, 20),
+    "link_generation_round_dm": (lambda: bench_link_generation_round("dm"), 5),
+    "link_generation_round_bell": (lambda: bench_link_generation_round("bell"), 5),
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rounds", type=int, default=7,
+                        help="timed batches per benchmark (median reported)")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="output path (default: BENCH_<rev>.json in the"
+                             " repository root)")
+    parser.add_argument("--only", nargs="*", default=None,
+                        help="run a subset of benchmarks by name")
+    args = parser.parse_args(argv)
+
+    revision = _git_revision()
+    results: dict[str, float] = {}
+    for name, (factory, iterations) in BENCHMARKS.items():
+        if args.only and name not in args.only:
+            continue
+        fn = factory()
+        median = _median_ns(fn, iterations, args.rounds)
+        results[name] = round(median, 1)
+        print(f"{name:30s} {median / 1e3:12.2f} us/op")
+
+    speedups = {}
+    for op in ("bsm", "link_generation_round"):
+        dm_key, bell_key = f"{op}_dm", f"{op}_bell"
+        if dm_key in results and bell_key in results:
+            speedups[op] = round(results[dm_key] / results[bell_key], 2)
+            print(f"{op}: bell is {speedups[op]}x faster than dm")
+
+    payload = {
+        "revision": revision,
+        "unit": "ns_per_op_median",
+        "rounds": args.rounds,
+        "results": results,
+        "speedup_bell_over_dm": speedups,
+    }
+    out = args.out or (Path(__file__).resolve().parent.parent
+                       / f"BENCH_{revision}.json")
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

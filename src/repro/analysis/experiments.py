@@ -7,8 +7,9 @@ the *numbers* (who wins, by what factor, where crossovers fall).
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Iterable, Optional, Sequence
 
 from .stats import mean, standard_error
 
@@ -21,7 +22,28 @@ class SeedSweep:
     seeds: Sequence[int]
     samples: list[float] = field(default_factory=list)
 
-    def run(self) -> "SeedSweep":
+    def run(self, parallel: bool = False,
+            workers: Optional[int] = None) -> "SeedSweep":
+        """Evaluate the scenario on every seed.
+
+        ``parallel=True`` fans the seeds out over a ``multiprocessing`` pool
+        (``workers`` processes, default one per CPU up to the seed count).
+        Results are deterministic and identical to the serial run: each
+        scenario call is self-contained in its seed, and ``samples`` keeps
+        the seed order regardless of completion order.  ``workers=1`` (or a
+        single seed) falls back to the serial path — no pool, no pickling
+        requirements on ``scenario``.
+        """
+        if parallel:
+            if workers is None:
+                workers = min(len(self.seeds), os.cpu_count() or 1)
+            if workers > 1 and len(self.seeds) > 1:
+                import multiprocessing
+
+                with multiprocessing.Pool(processes=workers) as pool:
+                    results = pool.map(self.scenario, self.seeds)
+                self.samples = [float(sample) for sample in results]
+                return self
         self.samples = [float(self.scenario(seed)) for seed in self.seeds]
         return self
 
@@ -34,9 +56,16 @@ class SeedSweep:
         return standard_error(self.samples)
 
 
-def run_seeds(scenario: Callable[[int], float], seeds: Iterable[int]) -> SeedSweep:
-    """Convenience wrapper: ``run_seeds(fn, range(5)).mean``."""
-    return SeedSweep(scenario=scenario, seeds=list(seeds)).run()
+def run_seeds(scenario: Callable[[int], float], seeds: Iterable[int],
+              parallel: bool = False,
+              workers: Optional[int] = None) -> SeedSweep:
+    """Convenience wrapper: ``run_seeds(fn, range(5)).mean``.
+
+    Pass ``parallel=True`` for a multiprocessing sweep (``scenario`` must
+    then be picklable, i.e. a module-level function).
+    """
+    return SeedSweep(scenario=scenario, seeds=list(seeds)).run(
+        parallel=parallel, workers=workers)
 
 
 def render_table(headers: Sequence[str], rows: Sequence[Sequence],

@@ -8,6 +8,13 @@ Usage::
     python -m repro near-term --pairs 10
     python -m repro trace --pairs 2
 
+``--formalism bell`` (a global flag, so it precedes the subcommand::
+
+    python -m repro --formalism bell quickstart
+
+) runs any scenario on the fast Bell-diagonal state backend instead of the
+exact density-matrix engine — see DESIGN.md for when the two agree exactly.
+
 Each subcommand builds a network, drives the full stack and prints a
 summary — handy for demos and for eyeballing behaviour after changes.
 """
@@ -24,10 +31,12 @@ from .network.builder import (
     build_dumbbell_network,
     build_near_term_chain,
 )
+from .quantum.backends import FORMALISMS
 
 
 def _cmd_chain(args: argparse.Namespace) -> int:
-    net = build_chain_network(num_nodes=args.nodes, seed=args.seed)
+    net = build_chain_network(num_nodes=args.nodes, seed=args.seed,
+                              formalism=args.formalism)
     head, tail = "node0", f"node{args.nodes - 1}"
     circuit_id = net.establish_circuit(head, tail, args.fidelity)
     route = net.route_of(circuit_id)
@@ -56,7 +65,7 @@ def _cmd_quickstart(args: argparse.Namespace) -> int:
 def _cmd_qkd(args: argparse.Namespace) -> int:
     from .services import run_bbm92
 
-    net = build_dumbbell_network(seed=args.seed)
+    net = build_dumbbell_network(seed=args.seed, formalism=args.formalism)
     circuit_id = net.establish_circuit("A0", "B0", args.fidelity, "short")
     key = run_bbm92(net, circuit_id, num_pairs=args.pairs,
                     timeout_s=args.timeout)
@@ -67,7 +76,8 @@ def _cmd_qkd(args: argparse.Namespace) -> int:
 
 
 def _cmd_near_term(args: argparse.Namespace) -> int:
-    net = build_near_term_chain(num_nodes=3, seed=args.seed)
+    net = build_near_term_chain(num_nodes=3, seed=args.seed,
+                                formalism=args.formalism)
     circuit_id = net.establish_circuit_manual(
         ["node0", "node1", "node2"], link_fidelity=0.8, cutoff=3.0 * S,
         max_eer=5.0, estimated_fidelity=0.55)
@@ -85,7 +95,8 @@ def _cmd_near_term(args: argparse.Namespace) -> int:
 def _cmd_trace(args: argparse.Namespace) -> int:
     from .analysis import attach_trace
 
-    net = build_chain_network(num_nodes=4, seed=args.seed)
+    net = build_chain_network(num_nodes=4, seed=args.seed,
+                              formalism=args.formalism)
     circuit_id = net.establish_circuit("node0", "node3", 0.75)
     log = attach_trace(net)
     handle = net.submit(circuit_id, UserRequest(num_pairs=args.pairs))
@@ -103,6 +114,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=42)
     parser.add_argument("--timeout", type=float, default=600.0,
                         help="simulated-seconds budget")
+    parser.add_argument("--formalism", choices=list(FORMALISMS), default="dm",
+                        help="quantum-state backend: exact density matrices"
+                             " ('dm') or fast Bell-diagonal weights ('bell')")
     sub = parser.add_subparsers(dest="command", required=True)
 
     quickstart = sub.add_parser("quickstart", help="3-node chain demo")

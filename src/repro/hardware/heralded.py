@@ -24,6 +24,8 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import cached_property
+
 import numpy as np
 
 from ..quantum.bell import BellIndex
@@ -35,6 +37,11 @@ from .parameters import HardwareParams
 MIN_ALPHA = 1e-3
 #: Largest α: beyond one half the "bright" component dominates.
 MAX_ALPHA = 0.5
+
+#: Shared α scan grid for :meth:`SingleClickModel.alpha_for_fidelity` —
+#: log-spaced over the legal range, built once per process.
+_ALPHA_GRID = np.geomspace(MIN_ALPHA, MAX_ALPHA, 400)
+_ALPHA_GRID.setflags(write=False)
 
 
 @dataclass(frozen=True)
@@ -53,12 +60,22 @@ class SingleClickModel:
     def __init__(self, params: HardwareParams, connection: HeraldedConnection):
         self.params = params
         self.connection = connection
+        # Hot-path caches.  Both ``params`` and ``connection`` are frozen
+        # dataclasses, so every derived quantity is a pure function of the
+        # constructor arguments; the link layer asks for the same handful of
+        # α values millions of times per run.
+        self._success_cache: dict[float, float] = {}
+        self._fidelity_cache: dict[float, float] = {}
+        self._log_miss_cache: dict[float, float] = {}
+        self._alpha_cache: dict[float, float] = {}
+        self._dm_cache: dict[tuple, np.ndarray] = {}
+        self._weights_cache: dict[tuple, np.ndarray] = {}
 
     # ------------------------------------------------------------------
     # Timing
     # ------------------------------------------------------------------
 
-    @property
+    @cached_property
     def cycle_time(self) -> float:
         """Duration of one entanglement attempt in ns.
 
@@ -75,7 +92,7 @@ class SingleClickModel:
     # Success statistics
     # ------------------------------------------------------------------
 
-    @property
+    @cached_property
     def detection_efficiency(self) -> float:
         """Photon detection probability from one node, fibre included.
 
@@ -86,13 +103,46 @@ class SingleClickModel:
         return (self.params.p_zero_phonon * self.params.collection_efficiency
                 * self.params.p_detection * fibre)
 
+    def _produced_stats(self, alpha):
+        """(success probability, garbage weight, produced fidelity).
+
+        The single home of the single-click physics formulas; ``alpha`` may
+        be a scalar or an array (the α-scan of :meth:`alpha_for_fidelity`
+        evaluates the whole grid in one call).  Scalar callers go through
+        the per-α caches below, so the numpy overhead is paid once per α.
+        """
+        alpha = np.asarray(alpha, dtype=float)
+        eta = self.detection_efficiency
+        dark = 2.0 * self.params.dark_count_probability()
+        p = np.minimum(2.0 * alpha * (1.0 - alpha) * eta + dark, 1.0)
+        dark_fraction = np.where(p > 0, dark / np.where(p > 0, p, 1.0), 0.0)
+        garbage = np.minimum(
+            alpha + self.params.p_double_excitation + dark_fraction, 1.0)
+        fidelity = (1.0 - garbage) * (1.0 + self.coherence_factor()) / 2.0
+        return p, garbage, fidelity
+
     def success_probability(self, alpha: float) -> float:
         """Probability that one attempt heralds a pair."""
+        cached = self._success_cache.get(alpha)
+        if cached is not None:
+            return cached
         self._check_alpha(alpha)
-        eta = self.detection_efficiency
-        signal = 2.0 * alpha * (1.0 - alpha) * eta
-        dark = 2.0 * self.params.dark_count_probability()
-        return min(signal + dark, 1.0)
+        p = float(self._produced_stats(alpha)[0])
+        self._success_cache[alpha] = p
+        return p
+
+    def log_miss_probability(self, alpha: float) -> float:
+        """``log(1 − p_success)`` — the geometric-sampling constant.
+
+        Owned here so the inverse-CDF attempt sampler has exactly one
+        source (used by :meth:`sample_attempts` and cached per request by
+        the link layer's inlined hot path).
+        """
+        log_miss = self._log_miss_cache.get(alpha)
+        if log_miss is None:
+            log_miss = math.log(1.0 - self.success_probability(alpha))
+            self._log_miss_cache[alpha] = log_miss
+        return log_miss
 
     def expected_pair_time(self, alpha: float) -> float:
         """Mean time to produce one pair, in ns."""
@@ -113,14 +163,18 @@ class SingleClickModel:
 
     def sample_attempts(self, alpha: float, rng) -> int:
         """Sample the number of attempts until success (geometric)."""
-        p = self.success_probability(alpha)
+        log_miss = self.log_miss_probability(alpha)
         # Inverse-CDF sampling of the geometric distribution.
         u = rng.random()
-        return max(1, math.ceil(math.log(1.0 - u) / math.log(1.0 - p)))
+        return max(1, math.ceil(math.log(1.0 - u) / log_miss))
 
     # ------------------------------------------------------------------
     # Produced state
     # ------------------------------------------------------------------
+
+    @cached_property
+    def _coherence_factor(self) -> float:
+        return self.params.visibility * math.exp(-self.params.delta_phi ** 2 / 2.0)
 
     def coherence_factor(self) -> float:
         """Off-diagonal contrast of the heralded state.
@@ -128,7 +182,7 @@ class SingleClickModel:
         Interferometric visibility times the Gaussian phase-noise envelope
         exp(−Δφ²/2).
         """
-        return self.params.visibility * math.exp(-self.params.delta_phi ** 2 / 2.0)
+        return self._coherence_factor
 
     def garbage_weight(self, alpha: float) -> float:
         """Weight of the separable |11⟩-type admixture in the heralded state.
@@ -137,15 +191,17 @@ class SingleClickModel:
         dark counts.
         """
         self._check_alpha(alpha)
-        p = self.success_probability(alpha)
-        dark_fraction = 2.0 * self.params.dark_count_probability() / p if p > 0 else 0.0
-        weight = alpha + self.params.p_double_excitation + dark_fraction
-        return min(weight, 1.0)
+        return float(self._produced_stats(alpha)[1])
 
     def fidelity(self, alpha: float) -> float:
         """Fidelity of the heralded pair to its reported Bell state."""
-        w = self.garbage_weight(alpha)
-        return (1.0 - w) * (1.0 + self.coherence_factor()) / 2.0
+        cached = self._fidelity_cache.get(alpha)
+        if cached is not None:
+            return cached
+        self._check_alpha(alpha)
+        value = float(self._produced_stats(alpha)[2])
+        self._fidelity_cache[alpha] = value
+        return value
 
     def alpha_for_fidelity(self, min_fidelity: float) -> float:
         """Largest α whose produced fidelity still meets ``min_fidelity``.
@@ -156,24 +212,34 @@ class SingleClickModel:
         """
         if not 0.0 < min_fidelity <= 1.0:
             raise ValueError("min_fidelity must be in (0, 1]")
+        cached = self._alpha_cache.get(min_fidelity)
+        if cached is not None:
+            return cached
         # Fidelity is not monotone in α: dark counts poison the state at very
         # small α (their share of heralds grows as the signal shrinks), while
         # the bright-state admixture dominates at large α.  Scan a log-spaced
         # grid for the *largest* feasible α — largest means fastest pairs.
-        grid = np.geomspace(MIN_ALPHA, MAX_ALPHA, 400)
-        feasible = [a for a in grid if self.fidelity(a) >= min_fidelity]
-        if not feasible:
-            best = max(self.fidelity(a) for a in grid)
+        grid, fidelities = self._fidelity_grid
+        feasible = np.flatnonzero(fidelities >= min_fidelity)
+        if feasible.size == 0:
+            best = float(fidelities.max())
             raise ValueError(
                 f"link cannot reach fidelity {min_fidelity:.3f}"
                 f" (best achievable ≈ {best:.3f})")
-        alpha = float(max(feasible))
+        alpha = float(grid[feasible[-1]])
         # Refine upward within the last grid cell (fidelity is locally
         # decreasing there).
         step = alpha * 0.01
         while alpha + step <= MAX_ALPHA and self.fidelity(alpha + step) >= min_fidelity:
             alpha += step
+        self._alpha_cache[min_fidelity] = alpha
         return alpha
+
+    @cached_property
+    def _fidelity_grid(self) -> tuple[np.ndarray, np.ndarray]:
+        """(α grid, produced fidelity) — the scan of :meth:`fidelity`
+        evaluated in one vectorized sweep instead of 400 Python calls."""
+        return _ALPHA_GRID, self._produced_stats(_ALPHA_GRID)[2]
 
     def produced_dm(self, alpha: float, bell_index: BellIndex) -> np.ndarray:
         """Density matrix of the heralded pair.
@@ -181,7 +247,15 @@ class SingleClickModel:
         Basis |00⟩,|01⟩,|10⟩,|11⟩.  The entangled component is Ψ± with
         reduced off-diagonal contrast; the garbage component is |11⟩ (both
         spins bright).
+
+        Memoized per ``(alpha, bell_index)`` — the link layer produces
+        thousands of identical states per run — and returned **read-only**;
+        callers must copy before mutating.
         """
+        key = (alpha, int(bell_index))
+        cached = self._dm_cache.get(key)
+        if cached is not None:
+            return cached
         if bell_index not in (BellIndex.PSI_PLUS, BellIndex.PSI_MINUS):
             raise ValueError("single-click heralding produces Ψ+ or Ψ− only")
         sign = 1.0 if bell_index == BellIndex.PSI_PLUS else -1.0
@@ -194,7 +268,35 @@ class SingleClickModel:
         dm[0b10, 0b01] = sign * 0.5 * coherence
         dm = (1.0 - w) * dm
         dm[0b11, 0b11] += w
+        dm.setflags(write=False)
+        self._dm_cache[key] = dm
         return dm
+
+    def produced_weights(self, alpha: float, bell_index: BellIndex) -> np.ndarray:
+        """Bell-diagonal weights of the heralded pair (``"bell"`` formalism).
+
+        The exact diagonal ⟨B_i|ρ|B_i⟩ of :meth:`produced_dm`: the Ψ±
+        doublet splits according to the coherence factor and the |11⟩
+        garbage contributes w/2 to each Φ state (its Φ+/Φ− coherence is
+        dropped — the twirled approximation the Bell formalism documents).
+        Memoized and read-only like :meth:`produced_dm`.
+        """
+        key = (alpha, int(bell_index))
+        cached = self._weights_cache.get(key)
+        if cached is not None:
+            return cached
+        if bell_index not in (BellIndex.PSI_PLUS, BellIndex.PSI_MINUS):
+            raise ValueError("single-click heralding produces Ψ+ or Ψ− only")
+        coherence = self.coherence_factor()
+        w = self.garbage_weight(alpha)
+        weights = np.empty(4)
+        weights[int(bell_index)] = (1.0 - w) * (1.0 + coherence) / 2.0
+        weights[int(bell_index) ^ 0b10] = (1.0 - w) * (1.0 - coherence) / 2.0
+        weights[BellIndex.PHI_PLUS] = w / 2.0
+        weights[BellIndex.PHI_MINUS] = w / 2.0
+        weights.setflags(write=False)
+        self._weights_cache[key] = weights
+        return weights
 
     def sample(self, alpha: float, rng) -> LinkSample:
         """Fast-forward one generation round: attempts, duration and state."""

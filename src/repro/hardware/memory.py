@@ -9,7 +9,6 @@ keeps the event count independent of memory lifetimes.
 
 from __future__ import annotations
 
-from ..quantum.channels import decoherence_kraus
 from ..quantum.qubit import Qubit
 
 
@@ -30,7 +29,10 @@ def apply_memory_noise(qubit: Qubit, now: float) -> None:
             f"time went backwards for {qubit.name}: {qubit.last_noise_time} -> {now}")
     if elapsed == 0:
         return
-    qubit.state.apply_channel(decoherence_kraus(elapsed, qubit.t1, qubit.t2), [qubit])
+    # Polymorphic over the state formalism: the exact engine builds the
+    # (memoized) T1/T2 Kraus channel, the Bell-diagonal engine updates its
+    # four weights analytically.
+    qubit.state.apply_decoherence(elapsed, qubit.t1, qubit.t2, qubit)
     qubit.last_noise_time = now
 
 

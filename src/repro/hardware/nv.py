@@ -22,7 +22,6 @@ from typing import Optional
 
 from ..netsim.entity import Entity
 from ..netsim.scheduler import Simulator
-from ..quantum.channels import dephasing_kraus
 from ..quantum.operations import (
     NoisyOpParams,
     bell_state_measurement,
@@ -49,6 +48,10 @@ class NVDevice(Entity):
         #: Storage qubits currently holding halves of pairs (near-term model);
         #: tracked so entanglement attempts can dephase them.
         self._stored: list[Qubit] = []
+        # Hot-path constants (attribute chains cost on every generation round).
+        self._nuclear_q = params.nuclear_dephasing_per_attempt
+        self._electron_t1 = params.electron_t1
+        self._electron_t2 = params.electron_t2
 
     # ------------------------------------------------------------------
     # Qubit lifecycle
@@ -56,7 +59,7 @@ class NVDevice(Entity):
 
     def adopt_comm_qubit(self, qubit: Qubit) -> None:
         """Register a freshly generated communication qubit with the device."""
-        stamp(qubit, self.now, self.params.electron_t1, self.params.electron_t2)
+        stamp(qubit, self.sim._now, self._electron_t1, self._electron_t2)
 
     def move_to_storage(self, qubit: Qubit) -> float:
         """Move a qubit from the communication spin into carbon storage.
@@ -75,7 +78,7 @@ class NVDevice(Entity):
         # electron's post-move state, which is immediately reset).
         error = (1.0 - gates.two_qubit_gate_fidelity) + (1.0 - gates.carbon_init_fidelity)
         if error > 0:
-            qubit.state.apply_channel(dephasing_kraus(min(error, 0.5)), [qubit])
+            qubit.state.apply_dephasing(min(error, 0.5), qubit)
         stamp(qubit, self.now, self.params.carbon_t1, self.params.carbon_t2)
         self._stored.append(qubit)
         return gates.two_qubit_gate_duration + gates.carbon_init_duration
@@ -135,16 +138,15 @@ class NVDevice(Entity):
         The aggregate phase-flip probability over ``attempts`` attempts with
         per-attempt probability q is (1 − (1 − 2q)^attempts)/2.
         """
-        q = self.params.nuclear_dephasing_per_attempt
-        if q <= 0 or attempts <= 0 or not self._stored:
+        q = self._nuclear_q
+        if not self._stored or q <= 0 or attempts <= 0:
             return
         aggregate = (1.0 - (1.0 - 2.0 * q) ** attempts) / 2.0
-        channel = dephasing_kraus(aggregate)
         for qubit in list(self._stored):
             if qubit is exclude or qubit.state is None:
                 continue
             apply_memory_noise(qubit, self.now)
-            qubit.state.apply_channel(channel, [qubit])
+            qubit.state.apply_dephasing(aggregate, qubit)
 
     @property
     def stored_count(self) -> int:

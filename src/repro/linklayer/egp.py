@@ -32,6 +32,7 @@ Operation:
 from __future__ import annotations
 
 import itertools
+import math
 from typing import Callable, Optional
 
 from ..hardware.heralded import SingleClickModel
@@ -40,7 +41,8 @@ from ..netsim.scheduler import Simulator
 from ..network.arbiter import acquire_ordered, release_all
 from ..network.node import QuantumNode
 from ..network.qmm import Slot
-from ..quantum.operations import create_pair
+from ..quantum.backends import Backend, get_backend
+from ..quantum.bell import BellIndex
 from .scheduler import FairShareScheduler
 from .service import LinkPairDelivery, LinkRequestState
 
@@ -52,14 +54,22 @@ class Link(Entity):
 
     def __init__(self, sim: Simulator, name: str, node_a: QuantumNode,
                  node_b: QuantumNode, model: SingleClickModel,
-                 slice_attempts: int = 100):
+                 slice_attempts: int = 100,
+                 backend: Optional[Backend] = None):
         super().__init__(sim, name)
         if slice_attempts < 1:
             raise ValueError("slice_attempts must be at least 1")
         self.node_a = node_a
         self.node_b = node_b
         self.model = model
+        #: State formalism used to materialise produced pairs (defaults to
+        #: the node's backend, falling back to the exact engine).
+        self.backend = get_backend(backend if backend is not None
+                                   else getattr(node_a, "backend", None))
         self.slice_attempts = slice_attempts
+        self._cycle_time = model.cycle_time
+        self._device_a = node_a.device
+        self._device_b = node_b.device
         self._handlers: dict[str, DeliveryHandler] = {}
         self._requests: dict[str, LinkRequestState] = {}
         self._pending_endorsements: dict[str, set] = {}
@@ -70,6 +80,12 @@ class Link(Entity):
         self._scheduler = FairShareScheduler()
         self._seq = itertools.count()
         self._running = False
+        # Hot-loop caches: the eligible-purpose list only changes on
+        # set_request/endorse/end_request, and the comm-qubit pools are
+        # fixed once both nodes attached the link.
+        self._eligible_dirty = True
+        self._eligible: list[str] = []
+        self._pools = None
         self._serialize = not (node_a.params.parallel_links
                                and node_b.params.parallel_links)
         # Statistics (benchmarks read these).
@@ -101,10 +117,14 @@ class Link(Entity):
         immediately live (single-caller use).
         """
         alpha = self.model.alpha_for_fidelity(min_fidelity)
+        log_miss = self.model.log_miss_probability(alpha)
+        goodness = self.model.fidelity(alpha)
         existing = self._requests.get(purpose_id)
         if existing is not None and existing.active:
             existing.min_fidelity = min_fidelity
             existing.alpha = alpha
+            existing.log_miss = log_miss
+            existing.goodness = goodness
             existing.lpr = lpr
             if endorser is not None and existing.endorsers is not None:
                 existing.endorsers.add(endorser)
@@ -112,13 +132,14 @@ class Link(Entity):
         else:
             state = LinkRequestState(
                 purpose_id=purpose_id, min_fidelity=min_fidelity,
-                alpha=alpha, lpr=lpr,
+                alpha=alpha, lpr=lpr, log_miss=log_miss, goodness=goodness,
                 endorsers=None if endorser is None else {endorser})
             pending = self._pending_endorsements.pop(purpose_id, set())
             if state.endorsers is not None:
                 state.endorsers |= pending
             self._requests[purpose_id] = state
             self._scheduler.add(purpose_id, lpr)
+        self._eligible_dirty = True
         self._kick()
 
     def endorse(self, purpose_id: str, node_name: str) -> None:
@@ -129,12 +150,14 @@ class Link(Entity):
             return
         if request.endorsers is not None:
             request.endorsers.add(node_name)
+        self._eligible_dirty = True
         self._kick()
 
     def end_request(self, purpose_id: str) -> None:
         """Terminate a continuous generation request (COMPLETE handling)."""
         self._pending_endorsements.pop(purpose_id, None)
         request = self._requests.pop(purpose_id, None)
+        self._eligible_dirty = True
         if request is not None:
             request.active = False
             self._scheduler.remove(purpose_id)
@@ -154,13 +177,17 @@ class Link(Entity):
         collapse (Sec 5.1); it is off by default and exercised by the
         scheduling ablation bench.
         """
-        flaggers = self._priorities.setdefault(purpose_id, set())
         if boosted:
-            flaggers.add(node_name)
-        else:
-            flaggers.discard(node_name)
-        if boosted:
+            self._priorities.setdefault(purpose_id, set()).add(node_name)
             self._kick()
+        else:
+            flaggers = self._priorities.get(purpose_id)
+            if flaggers is not None:
+                flaggers.discard(node_name)
+                if not flaggers:
+                    # Drop empty entries so the scheduler's "any priorities
+                    # at all?" fast check stays meaningful.
+                    del self._priorities[purpose_id]
 
     def _boosted(self, purpose_id: str) -> bool:
         return bool(self._priorities.get(purpose_id))
@@ -192,24 +219,36 @@ class Link(Entity):
             self._try_start_round()
 
     def _eligible_purposes(self) -> list[str]:
-        return [purpose_id for purpose_id, request in self._requests.items()
+        if self._eligible_dirty:
+            self._eligible = [
+                purpose_id for purpose_id, request in self._requests.items()
                 if request.active and request.fully_endorsed()]
+            self._eligible_dirty = False
+        return self._eligible
+
+    def _comm_pools(self):
+        pools = self._pools
+        if pools is None:
+            pools = self._pools = (self.node_a.qmm.comm_pool(self.name),
+                                   self.node_b.qmm.comm_pool(self.name))
+        return pools
 
     def _slots_free(self) -> bool:
-        return (self.node_a.qmm.free_comm(self.name) > 0
-                and self.node_b.qmm.free_comm(self.name) > 0)
+        pool_a, pool_b = self._comm_pools()
+        return pool_a.in_use < pool_a.capacity and pool_b.in_use < pool_b.capacity
 
     def _try_start_round(self) -> None:
         eligible = self._eligible_purposes()
         if not eligible or not self._slots_free():
             return
         boosted = [purpose_id for purpose_id in eligible
-                   if self._boosted(purpose_id)]
+                   if self._boosted(purpose_id)] if self._priorities else None
         purpose_id = self._scheduler.pick(boosted or eligible)
         if purpose_id is None:
             return
-        slot_a = self.node_a.qmm.try_acquire_comm(self.name)
-        slot_b = self.node_b.qmm.try_acquire_comm(self.name)
+        pool_a, pool_b = self._comm_pools()
+        slot_a = pool_a.try_acquire()
+        slot_b = pool_b.try_acquire()
         if slot_a is None or slot_b is None:  # pragma: no cover - guarded above
             if slot_a:
                 slot_a.release()
@@ -231,12 +270,18 @@ class Link(Entity):
             # Request ended while we waited for the device.
             self._abort_round(slot_a, slot_b, arbiters)
             return
-        attempts_needed = self.model.sample_attempts(request.alpha, self.sim.rng)
-        burst = min(attempts_needed, self.slice_attempts)
-        success = attempts_needed <= self.slice_attempts
-        duration = burst * self.model.cycle_time
-        self.call_in(duration, self._finish_round, request, burst, success,
-                     slot_a, slot_b, arbiters)
+        sim = self.sim
+        # Inline geometric sampling (cf. SingleClickModel.sample_attempts):
+        # one inverse-CDF draw per slice with the per-request cached log.
+        attempts_needed = math.ceil(math.log(1.0 - sim.rng.random())
+                                    / request.log_miss)
+        if attempts_needed < 1:
+            attempts_needed = 1
+        slice_attempts = self.slice_attempts
+        success = attempts_needed <= slice_attempts
+        burst = attempts_needed if success else slice_attempts
+        sim.schedule_at(sim._now + burst * self._cycle_time, self._finish_round,
+                        request, burst, success, slot_a, slot_b, arbiters)
 
     def _abort_round(self, slot_a: Slot, slot_b: Slot, arbiters: list) -> None:
         slot_a.release()
@@ -249,14 +294,34 @@ class Link(Entity):
     def _finish_round(self, request: LinkRequestState, burst: int, success: bool,
                       slot_a: Slot, slot_b: Slot, arbiters: list) -> None:
         self.attempts_made += burst
-        self.busy_time += burst * self.model.cycle_time
-        self.node_a.device.charge_attempt_noise(burst)
-        self.node_b.device.charge_attempt_noise(burst)
-        if request.purpose_id in self._scheduler:
-            self._scheduler.charge(request.purpose_id, burst * self.model.cycle_time)
+        busy = burst * self._cycle_time
+        self.busy_time += busy
+        # Attempt noise only touches parked storage qubits (near-term model);
+        # skip the call entirely on the common empty-storage path.
+        if self._device_a._stored:
+            self._device_a.charge_attempt_noise(burst)
+        if self._device_b._stored:
+            self._device_b.charge_attempt_noise(burst)
+        try:
+            self._scheduler.charge(request.purpose_id, busy)
+        except KeyError:
+            pass  # request ended while the round was in flight
         if success and request.active:
             self._deliver_pair(request, slot_a, slot_b)
         else:
+            eligible = self._eligible_purposes()
+            if (not arbiters and len(eligible) == 1
+                    and eligible[0] == request.purpose_id):
+                # Fast continue: the slice failed and no other purpose could
+                # be scheduled (eligibility implies the request is live and
+                # endorsed), so start the next slice for the same purpose
+                # with the slots still in hand — skipping the release/notify/
+                # re-pick/re-acquire churn.  Equivalent to the slow path:
+                # the next round starts at the same instant, samples the
+                # same RNG draw, and the scheduler would pick this purpose
+                # again (it is the only one).
+                self._run_round(request.purpose_id, slot_a, slot_b, arbiters)
+                return
             slot_a.release()
             slot_b.release()
         if arbiters:
@@ -267,26 +332,26 @@ class Link(Entity):
     def _deliver_pair(self, request: LinkRequestState, slot_a: Slot,
                       slot_b: Slot) -> None:
         sample_index = self.sim.rng.random()
-        from ..quantum.bell import BellIndex
-
         bell_index = BellIndex.PSI_PLUS if sample_index < 0.5 else BellIndex.PSI_MINUS
-        dm = self.model.produced_dm(request.alpha, bell_index)
         correlator = (self.name, next(self._seq))
-        qubit_a, qubit_b = create_pair(
-            dm,
-            name_a=f"{self.name}:{correlator[1]}@{self.node_a.name}",
-            name_b=f"{self.name}:{correlator[1]}@{self.node_b.name}")
+        stem = f"{self.name}:{correlator[1]}@"
+        qubit_a, qubit_b = self.backend.create_link_pair(
+            self.model, request.alpha, bell_index,
+            name_a=stem + self.node_a.name,
+            name_b=stem + self.node_b.name)
         self.node_a.device.adopt_comm_qubit(qubit_a)
         self.node_b.device.adopt_comm_qubit(qubit_b)
         slot_a.commit(qubit_a, correlator)
         slot_b.commit(qubit_b, correlator)
         self.node_a.qmm.bind(correlator, qubit_a)
         self.node_b.qmm.bind(correlator, qubit_b)
-        goodness = self.model.fidelity(request.alpha)
+        goodness = request.goodness
         request.pairs_delivered += 1
         self.pairs_generated += 1
+        t_create = self.sim._now
+        handlers = self._handlers
         for node, qubit in ((self.node_a, qubit_a), (self.node_b, qubit_b)):
-            handler = self._handlers.get(node.name)
+            handler = handlers.get(node.name)
             if handler is None:
                 raise RuntimeError(
                     f"{self.name}: no delivery handler registered at {node.name}")
@@ -297,5 +362,5 @@ class Link(Entity):
                 bell_index=bell_index,
                 qubit=qubit,
                 goodness=goodness,
-                t_create=self.now,
+                t_create=t_create,
             ))

@@ -58,9 +58,11 @@ class FairShareScheduler:
         """Pick the eligible purpose with the least virtual time."""
         best: Optional[str] = None
         best_virtual = float("inf")
+        virtuals = self._virtual
         for purpose_id in eligible:
-            self._check(purpose_id)
-            virtual = self._virtual[purpose_id]
+            # Direct indexing doubles as the unknown-purpose check
+            # (KeyError) without a second dict lookup on the hot path.
+            virtual = virtuals[purpose_id]
             if virtual < best_virtual:
                 best, best_virtual = purpose_id, virtual
         return best
@@ -69,7 +71,6 @@ class FairShareScheduler:
         """Account consumed link time against a purpose."""
         if link_time < 0:
             raise ValueError("link time must be non-negative")
-        self._check(purpose_id)
         self._virtual[purpose_id] += link_time / self._weights[purpose_id]
 
     def _check(self, purpose_id: str) -> None:

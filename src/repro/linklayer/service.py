@@ -25,7 +25,7 @@ from ..quantum.qubit import Qubit
 EntanglementId = tuple
 
 
-@dataclass
+@dataclass(slots=True)
 class LinkPairDelivery:
     """One half of a link pair, delivered to the network layer at one node."""
 
@@ -50,6 +50,11 @@ class LinkRequestState:
     alpha: float
     #: Requested link-pair rate (pairs/s) — the WRR weight.
     lpr: float
+    #: Hot-path constants derived from ``alpha`` (set by the EGP whenever
+    #: alpha changes): ``log(1 - p_success)`` for geometric sampling and the
+    #: produced-fidelity estimate reported as delivery goodness.
+    log_miss: float = 0.0
+    goodness: float = 0.0
     active: bool = True
     pairs_delivered: int = field(default=0)
     #: Node names that have endorsed this request.  Generation only starts

@@ -51,7 +51,11 @@ class EventHandle:
         callback(*args)
 
     def __lt__(self, other: "EventHandle") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
+        # Tuple-free comparison: the heap compares handles on every push and
+        # pop, so avoiding two tuple allocations per comparison is measurable.
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else "pending"
@@ -118,16 +122,18 @@ class Simulator:
         """
         self._running = True
         fired = 0
+        queue = self._queue
+        pop = heapq.heappop
         try:
-            while self._queue:
-                head = self._queue[0]
+            while queue:
+                head = queue[0]
                 if head.cancelled:
-                    heapq.heappop(self._queue)
+                    pop(queue)
                     continue
                 if until is not None and head.time > until:
                     self._now = until
                     break
-                heapq.heappop(self._queue)
+                pop(queue)
                 self._now = head.time
                 self._event_count += 1
                 fired += 1

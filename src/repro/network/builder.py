@@ -43,6 +43,7 @@ from ..netsim.units import (
     S,
     TELECOM_ATTENUATION_DB_PER_KM,
 )
+from ..quantum.backends import Backend, get_backend
 from ..quantum.fidelity import pair_fidelity
 from ..quantum.operations import NoisyOpParams
 from .node import QuantumNode
@@ -71,11 +72,18 @@ class _Submission:
 
 
 class Network:
-    """A fully wired quantum network plus control plane."""
+    """A fully wired quantum network plus control plane.
 
-    def __init__(self, sim: Simulator, params: HardwareParams):
+    ``formalism`` selects the quantum-state backend every node and link run
+    on: ``"dm"`` (exact density matrices) or ``"bell"`` (fast Bell-diagonal
+    weights) — see :mod:`repro.quantum.backends`.
+    """
+
+    def __init__(self, sim: Simulator, params: HardwareParams,
+                 formalism: str | Backend = "dm"):
         self.sim = sim
         self.params = params
+        self.backend = get_backend(formalism)
         self.nodes: dict[str, QuantumNode] = {}
         self.links: dict[frozenset, Link] = {}
         self.channels: list[ClassicalChannel] = []
@@ -92,8 +100,13 @@ class Network:
     # Construction
     # ------------------------------------------------------------------
 
+    @property
+    def formalism(self) -> str:
+        """Name of the active state formalism."""
+        return self.backend.name
+
     def add_node(self, name: str) -> QuantumNode:
-        node = QuantumNode(self.sim, name, self.params)
+        node = QuantumNode(self.sim, name, self.params, backend=self.backend)
         self.nodes[name] = node
         self.qnps[name] = QNPNode(node)
         self.signalling[name] = SignallingAgent(node)
@@ -108,7 +121,7 @@ class Network:
         connection = HeraldedConnection.symmetric(length_km, attenuation)
         model = SingleClickModel(self.params, connection)
         link = Link(self.sim, f"{name_a}~{name_b}", node_a, node_b, model,
-                    slice_attempts)
+                    slice_attempts, backend=self.backend)
         node_a.attach_link(link, name_b)
         node_b.attach_link(link, name_a)
         channel = ClassicalChannel(self.sim, length_km,
@@ -346,11 +359,12 @@ class Network:
 
 def build_chain_network(num_nodes: int, length_km: float = 0.002,
                         params: HardwareParams = SIMULATION,
-                        seed: int = 0, slice_attempts: int = 100) -> Network:
+                        seed: int = 0, slice_attempts: int = 100,
+                        formalism: str = "dm") -> Network:
     """A linear chain node0 — node1 — … — node(n−1)."""
     if num_nodes < 2:
         raise ValueError("a chain needs at least two nodes")
-    net = Network(Simulator(seed=seed), params)
+    net = Network(Simulator(seed=seed), params, formalism=formalism)
     names = [f"node{i}" for i in range(num_nodes)]
     for name in names:
         net.add_node(name)
@@ -362,9 +376,10 @@ def build_chain_network(num_nodes: int, length_km: float = 0.002,
 
 def build_dumbbell_network(length_km: float = 0.002,
                            params: HardwareParams = SIMULATION,
-                           seed: int = 0, slice_attempts: int = 100) -> Network:
+                           seed: int = 0, slice_attempts: int = 100,
+                           formalism: str = "dm") -> Network:
     """The Fig 7 evaluation topology: A0,A1 — MA — MB — B0,B1."""
-    net = Network(Simulator(seed=seed), params)
+    net = Network(Simulator(seed=seed), params, formalism=formalism)
     for name in ("A0", "A1", "MA", "MB", "B0", "B1"):
         net.add_node(name)
     for pair in (("A0", "MA"), ("A1", "MA"), ("MA", "MB"),
@@ -376,10 +391,11 @@ def build_dumbbell_network(length_km: float = 0.002,
 
 def build_near_term_chain(num_nodes: int = 3, length_km: float = 25.0,
                           params: HardwareParams = NEAR_TERM,
-                          seed: int = 0, slice_attempts: int = 2000) -> Network:
+                          seed: int = 0, slice_attempts: int = 2000,
+                          formalism: str = "dm") -> Network:
     """The Fig 11 scenario: a 25 km-spaced chain on near-term hardware
     (telecom-converted photons, single communication qubit, storage)."""
-    net = Network(Simulator(seed=seed), params)
+    net = Network(Simulator(seed=seed), params, formalism=formalism)
     names = [f"node{i}" for i in range(num_nodes)]
     for name in names:
         net.add_node(name)

@@ -15,6 +15,7 @@ from ..hardware.parameters import HardwareParams
 from ..netsim.channels import ChannelEnd
 from ..netsim.entity import Entity
 from ..netsim.scheduler import Simulator
+from ..quantum.backends import Backend, get_backend
 from .arbiter import DeviceArbiter
 from .qmm import QuantumMemoryManager
 
@@ -22,11 +23,15 @@ from .qmm import QuantumMemoryManager
 class QuantumNode(Entity):
     """One node of the quantum network."""
 
-    def __init__(self, sim: Simulator, name: str, params: HardwareParams):
+    def __init__(self, sim: Simulator, name: str, params: HardwareParams,
+                 backend: Optional[Backend] = None):
         super().__init__(sim, name)
         self.params = params
+        #: State formalism the node's pairs live in (threaded to the QMM and
+        #: every attached link by the topology builder).
+        self.backend = get_backend(backend)
         self.device = NVDevice(sim, params, name=f"{name}.device")
-        self.qmm = QuantumMemoryManager(name)
+        self.qmm = QuantumMemoryManager(name, backend=self.backend)
         self.arbiter = DeviceArbiter(sim, name=f"{name}.arbiter",
                                      serialize=not params.parallel_links)
         if params.storage_qubits:

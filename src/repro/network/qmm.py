@@ -46,7 +46,12 @@ class Slot:
 
 
 class SlotPool:
-    """Fixed-capacity pool of qubit slots."""
+    """Fixed-capacity pool of qubit slots.
+
+    Released :class:`Slot` objects are parked on a small free list and
+    reused — the link layer acquires and releases two slots per generation
+    round, millions of times per run.
+    """
 
     def __init__(self, name: str, capacity: int):
         if capacity < 0:
@@ -54,6 +59,7 @@ class SlotPool:
         self.name = name
         self.capacity = capacity
         self.in_use = 0
+        self._spare: list[Slot] = []
 
     @property
     def free(self) -> int:
@@ -63,19 +69,30 @@ class SlotPool:
         if self.in_use >= self.capacity:
             return None
         self.in_use += 1
+        if self._spare:
+            return self._spare.pop()
         return Slot(self)
 
     def _release(self, slot: Slot) -> None:
         if self.in_use <= 0:
             raise RuntimeError(f"pool {self.name} released more slots than acquired")
         self.in_use -= 1
+        if len(self._spare) < self.capacity:
+            self._spare.append(slot)
 
 
 class QuantumMemoryManager:
     """Per-node memory arbiter and correlator registry."""
 
-    def __init__(self, node_name: str):
+    def __init__(self, node_name: str, backend=None):
         self.node_name = node_name
+        #: The state formalism pairs parked here live in (``None`` until the
+        #: builder threads one through; diagnostics and services read it via
+        #: :attr:`formalism`).
+        self.backend = backend
+        #: Immutable copy of the listener list — iterated on every slot
+        #: release, so it must not be rebuilt (or mutated) per call.
+        self._listener_snapshot: tuple = ()
         self._link_pools: dict[str, SlotPool] = {}
         self._storage_pool = SlotPool("storage", 0)
         self._by_correlator: dict[Correlator, Qubit] = {}
@@ -111,6 +128,11 @@ class QuantumMemoryManager:
         """Free slots currently available on a link."""
         return self._pool(link_name).free
 
+    def comm_pool(self, link_name: str) -> SlotPool:
+        """The communication-qubit pool itself (hot-path accessor: the link
+        layer caches it to skip the per-round name lookup)."""
+        return self._pool(link_name)
+
     def free_storage(self) -> int:
         return self._storage_pool.free
 
@@ -120,6 +142,7 @@ class QuantumMemoryManager:
         The listener receives the pool name (link name or ``"storage"``).
         """
         self._free_listeners.append(listener)
+        self._listener_snapshot = tuple(self._free_listeners)
 
     # ------------------------------------------------------------------
     # Correlator registry (Appendix C's qmm.get / qmm.free)
@@ -154,7 +177,7 @@ class QuantumMemoryManager:
             return
         pool_name = slot.pool.name
         slot.release()
-        for listener in list(self._free_listeners):
+        for listener in self._listener_snapshot:
             listener(pool_name)
 
     def rebind_slot(self, qubit: Qubit, new_slot: Slot) -> None:
@@ -168,7 +191,7 @@ class QuantumMemoryManager:
             old_slot.correlator = None
             old_slot.pool._release(old_slot)
             qubit.owner = new_slot
-            for listener in list(self._free_listeners):
+            for listener in self._listener_snapshot:
                 listener(old_pool)
 
     # ------------------------------------------------------------------
@@ -178,6 +201,11 @@ class QuantumMemoryManager:
             return self._link_pools[link_name]
         except KeyError:
             raise KeyError(f"{self.node_name}: unknown link {link_name!r}") from None
+
+    @property
+    def formalism(self) -> str:
+        """Name of the active state formalism (``"dm"`` when unset)."""
+        return self.backend.name if self.backend is not None else "dm"
 
     def stats(self) -> dict[str, tuple[int, int]]:
         """(in_use, capacity) per pool — diagnostics for tests/benches."""

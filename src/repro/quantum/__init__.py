@@ -1,16 +1,31 @@
-"""Exact density-matrix quantum engine (the NetSquid-formalism substitute).
+"""Quantum engine with pluggable state formalisms.
 
 Public API:
 
-* :class:`Qubit` and :class:`QState` — state handles and the shared register,
+* :class:`Qubit` and :class:`QState` — state handles and the shared register
+  of the exact density-matrix engine (the NetSquid-formalism substitute),
+* :class:`Backend` / :func:`get_backend` — the formalism-selection layer:
+  ``"dm"`` (exact) or ``"bell"`` (fast Bell-diagonal weights,
+  :class:`BellPairState`),
 * :class:`BellIndex` and the Bell frame algebra (``combine``,
   ``swap_combine``, ``correction_pauli``),
-* gate matrices and Kraus channels,
+* gate matrices and Kraus channels (memoized — returned operators are
+  read-only),
 * the high-level operations protocols use (``bell_state_measurement``,
-  ``measure_qubit``, ``pauli_correct``, ``teleport``),
+  ``measure_qubit``, ``pauli_correct``, ``teleport``) — each dispatches to
+  the fast path when the operands live in the Bell-diagonal formalism,
 * fidelity helpers, including the simulation-only oracle ``pair_fidelity``.
 """
 
+from .backends import (
+    Backend,
+    BellDiagonalBackend,
+    DEFAULT_FORMALISM,
+    DensityMatrixBackend,
+    FORMALISMS,
+    get_backend,
+    register_backend,
+)
 from .bell import (
     BellIndex,
     bell_basis,
@@ -49,12 +64,22 @@ from .operations import (
     pauli_correct,
     teleport,
 )
+from .bellstate import BellPairState, create_bell_diagonal_pair
 from .qubit import Qubit
 from .states import QState
 
 __all__ = [
     "Qubit",
     "QState",
+    "Backend",
+    "DensityMatrixBackend",
+    "BellDiagonalBackend",
+    "BellPairState",
+    "create_bell_diagonal_pair",
+    "FORMALISMS",
+    "DEFAULT_FORMALISM",
+    "get_backend",
+    "register_backend",
     "BellIndex",
     "bell_vector",
     "bell_dm",

@@ -1,0 +1,150 @@
+"""Pluggable quantum-state backends (the formalism-selection layer).
+
+NetSquid scales by letting each run pick the cheapest state formalism that
+is still faithful for its workload (Kozlowski et al., CoNEXT 2020); this
+module is that layer for the reproduction.  A :class:`Backend` turns the
+abstract event "the hardware produced an entangled pair" into a concrete
+state representation:
+
+* :class:`DensityMatrixBackend` (``"dm"``) — the exact engine of
+  :mod:`repro.quantum.states`: joint density matrices, O(4^n) tensor
+  contractions, faithful for arbitrary states and operations.
+* :class:`BellDiagonalBackend` (``"bell"``) — pairs as 4-vectors of Bell
+  weights (:mod:`repro.quantum.bellstate`): O(1) per operation, exact on the
+  QNP hot path (Bell-diagonal states under dephasing, depolarizing,
+  entanglement swaps and Pauli-basis measurements), a twirled approximation
+  for amplitude damping and for the heralded |11⟩ coherences, and automatic
+  promotion to the exact engine for anything else.
+
+The knob threads through the whole stack —
+``build_chain_network(formalism="bell")``, ``Network(..., formalism=...)``,
+``python -m repro <cmd> --formalism bell`` — so every benchmark and example
+can run on either representation.  See DESIGN.md for the exact/approximate
+boundary and the speedups measured in ``BENCH_*.json``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple, Union
+
+from .bell import BellIndex, bell_diagonal_dm
+from .bellstate import BellPairState, create_bell_diagonal_pair
+from .qubit import Qubit
+from .states import QState
+
+
+class Backend:
+    """Strategy object deciding how entangled pairs are represented.
+
+    Subclasses implement :meth:`create_link_pair` (the link layer's pair
+    materialisation — the hottest allocation in the simulator) and
+    :meth:`create_pair_from_weights` (tests, analytics, services).
+    """
+
+    #: Registry key and CLI spelling.
+    name: str = ""
+    #: Whether the formalism is exact for arbitrary states and operations.
+    exact: bool = True
+
+    def create_link_pair(self, model, alpha: float, bell_index: BellIndex,
+                         name_a: str = "", name_b: str = "") -> Tuple[Qubit, Qubit]:
+        """Materialise one heralded link pair from a single-click model."""
+        raise NotImplementedError
+
+    def create_pair_from_weights(self, weights: Sequence[float],
+                                 name_a: str = "",
+                                 name_b: str = "") -> Tuple[Qubit, Qubit]:
+        """Materialise a Bell-diagonal pair from explicit weights."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class DensityMatrixBackend(Backend):
+    """The exact density-matrix formalism (the seed's only engine)."""
+
+    name = "dm"
+    exact = True
+
+    def create_link_pair(self, model, alpha, bell_index,
+                         name_a="", name_b=""):
+        qubit_a = Qubit(name_a)
+        qubit_b = Qubit(name_b)
+        QState(model.produced_dm(alpha, bell_index), [qubit_a, qubit_b])
+        return qubit_a, qubit_b
+
+    def create_pair_from_weights(self, weights, name_a="", name_b=""):
+        qubit_a = Qubit(name_a)
+        qubit_b = Qubit(name_b)
+        QState(bell_diagonal_dm(weights), [qubit_a, qubit_b])
+        return qubit_a, qubit_b
+
+
+class BellDiagonalBackend(Backend):
+    """The fast Bell-diagonal formalism (weights instead of matrices)."""
+
+    name = "bell"
+    exact = False
+
+    def create_link_pair(self, model, alpha, bell_index,
+                         name_a="", name_b=""):
+        qubit_a = Qubit(name_a)
+        qubit_b = Qubit(name_b)
+        # produced_weights is memoized and normalised — skip re-validation.
+        BellPairState.from_trusted_weights(
+            model.produced_weights(alpha, bell_index), [qubit_a, qubit_b])
+        return qubit_a, qubit_b
+
+    def create_pair_from_weights(self, weights, name_a="", name_b=""):
+        return create_bell_diagonal_pair(weights, name_a, name_b)
+
+
+_BACKENDS: dict[str, Backend] = {
+    backend.name: backend
+    for backend in (DensityMatrixBackend(), BellDiagonalBackend())
+}
+
+#: Formalism names accepted everywhere a ``formalism=`` knob appears.
+FORMALISMS: tuple[str, ...] = tuple(_BACKENDS)
+
+DEFAULT_FORMALISM = "dm"
+
+
+def get_backend(formalism: Union[str, Backend, None]) -> Backend:
+    """Resolve a formalism name (or pass a backend instance through).
+
+    ``None`` resolves to the default exact engine, so call sites can take
+    an optional knob without special-casing.
+    """
+    if formalism is None:
+        return _BACKENDS[DEFAULT_FORMALISM]
+    if isinstance(formalism, Backend):
+        return formalism
+    try:
+        return _BACKENDS[formalism]
+    except KeyError:
+        raise ValueError(
+            f"unknown state formalism {formalism!r}"
+            f" (available: {', '.join(FORMALISMS)})") from None
+
+
+def register_backend(backend: Backend) -> None:
+    """Register a custom formalism (experiments, tests)."""
+    if not backend.name:
+        raise ValueError("backend needs a non-empty name")
+    _BACKENDS[backend.name] = backend
+    global FORMALISMS
+    FORMALISMS = tuple(_BACKENDS)
+
+
+__all__ = [
+    "Backend",
+    "DensityMatrixBackend",
+    "BellDiagonalBackend",
+    "BellPairState",
+    "FORMALISMS",
+    "DEFAULT_FORMALISM",
+    "get_backend",
+    "register_backend",
+]

@@ -6,11 +6,19 @@ These model the loss mechanisms the paper enumerates in Sec 2.3:
 * (P3) imperfect gates — depolarizing noise applied around each operation,
 * (P4) decoherence in memory — combined amplitude damping (T1) and pure
   dephasing (T2*) applied lazily for the time a qubit sat idle.
+
+All builders are memoized: the simulation asks for the same handful of
+channels millions of times (gate noise probabilities are fixed per hardware
+profile), so each distinct parameter set is constructed once and the same
+operator tuple is returned on every subsequent call.  The returned arrays
+are **read-only** — callers must never mutate them (a regression test pins
+this).
 """
 
 from __future__ import annotations
 
 import math
+from functools import lru_cache
 from typing import Sequence
 
 import numpy as np
@@ -20,25 +28,35 @@ from .gates import I2, X, Y, Z
 KrausOps = Sequence[np.ndarray]
 
 
+def _frozen(*ops: np.ndarray) -> tuple[np.ndarray, ...]:
+    """Mark operator arrays read-only so cached instances cannot be mutated."""
+    for op in ops:
+        op.setflags(write=False)
+    return ops
+
+
+@lru_cache(maxsize=4096)
 def dephasing_kraus(p: float) -> KrausOps:
     """Phase-flip channel: applies Z with probability ``p``."""
     _check_probability(p)
-    return (math.sqrt(1 - p) * I2, math.sqrt(p) * Z)
+    return _frozen(math.sqrt(1 - p) * I2, math.sqrt(p) * Z)
 
 
+@lru_cache(maxsize=None)
 def bitflip_kraus(p: float) -> KrausOps:
     """Bit-flip channel: applies X with probability ``p``."""
     _check_probability(p)
-    return (math.sqrt(1 - p) * I2, math.sqrt(p) * X)
+    return _frozen(math.sqrt(1 - p) * I2, math.sqrt(p) * X)
 
 
+@lru_cache(maxsize=None)
 def depolarizing_kraus(p: float) -> KrausOps:
     """Single-qubit depolarizing channel with error probability ``p``.
 
     With probability ``p`` one of X/Y/Z is applied uniformly.
     """
     _check_probability(p)
-    return (
+    return _frozen(
         math.sqrt(1 - p) * I2,
         math.sqrt(p / 3) * X,
         math.sqrt(p / 3) * Y,
@@ -46,6 +64,7 @@ def depolarizing_kraus(p: float) -> KrausOps:
     )
 
 
+@lru_cache(maxsize=None)
 def two_qubit_depolarizing_kraus(p: float) -> KrausOps:
     """Two-qubit depolarizing channel with error probability ``p``.
 
@@ -60,23 +79,46 @@ def two_qubit_depolarizing_kraus(p: float) -> KrausOps:
         for j, pb in enumerate(paulis):
             weight = 1 - p if (i == 0 and j == 0) else p / 15
             ops.append(math.sqrt(weight) * np.kron(pa, pb))
-    return tuple(ops)
+    return _frozen(*ops)
 
 
+@lru_cache(maxsize=4096)
 def amplitude_damping_kraus(gamma: float) -> KrausOps:
     """Amplitude damping (T1 relaxation) with decay probability ``gamma``."""
     _check_probability(gamma)
     k0 = np.array([[1, 0], [0, math.sqrt(1 - gamma)]], dtype=complex)
     k1 = np.array([[0, math.sqrt(gamma)], [0, 0]], dtype=complex)
-    return (k0, k1)
+    return _frozen(k0, k1)
 
 
-def decoherence_kraus(elapsed: float, t1: float, t2: float) -> list[np.ndarray]:
+def decoherence_probabilities(elapsed: float, t1: float,
+                              t2: float) -> tuple[float, float]:
+    """Decay and dephasing probabilities for ``elapsed`` ns of idle time.
+
+    Returns ``(gamma, dephase_prob)``: the amplitude-damping probability from
+    T1 relaxation and the phase-flip probability from pure dephasing.  The
+    pure dephasing rate is derived from ``1/T2 = 1/(2 T1) + 1/T_phi``.
+    Shared between the exact Kraus builder below and the Bell-diagonal
+    backend's analytic memory channel.
+    """
+    if elapsed < 0:
+        raise ValueError("elapsed time must be non-negative")
+    gamma = 0.0 if math.isinf(t1) else 1.0 - math.exp(-elapsed / t1)
+    if math.isinf(t2):
+        dephase_prob = 0.0
+    else:
+        t_phi_inverse = 1.0 / t2 - (0.0 if math.isinf(t1) else 1.0 / (2.0 * t1))
+        t_phi_inverse = max(t_phi_inverse, 0.0)
+        dephase_prob = (1.0 - math.exp(-elapsed * t_phi_inverse)) / 2.0
+    return gamma, dephase_prob
+
+
+@lru_cache(maxsize=4096)
+def decoherence_kraus(elapsed: float, t1: float, t2: float) -> KrausOps:
     """Combined T1/T2 memory channel for ``elapsed`` ns of idle time.
 
     ``t1`` is the relaxation time and ``t2`` the dephasing time (both ns,
-    ``math.inf`` disables the respective process).  Pure dephasing rate is
-    derived from ``1/T2 = 1/(2 T1) + 1/T_phi``.  Returns the composed Kraus
+    ``math.inf`` disables the respective process).  Returns the composed Kraus
     operators (damping then dephasing — the two commute in their effect on
     the density matrix when composed over infinitesimal steps; for the
     exponential model the ordering error is zero because both are diagonal
@@ -85,21 +127,16 @@ def decoherence_kraus(elapsed: float, t1: float, t2: float) -> list[np.ndarray]:
     if elapsed < 0:
         raise ValueError("elapsed time must be non-negative")
     if elapsed == 0:
-        return [I2.copy()]
-    gamma = 0.0 if math.isinf(t1) else 1.0 - math.exp(-elapsed / t1)
-    if math.isinf(t2):
-        dephase_prob = 0.0
-    else:
-        t_phi_inverse = 1.0 / t2 - (0.0 if math.isinf(t1) else 1.0 / (2.0 * t1))
-        t_phi_inverse = max(t_phi_inverse, 0.0)
-        dephase_prob = (1.0 - math.exp(-elapsed * t_phi_inverse)) / 2.0
+        return _frozen(I2.copy())
+    gamma, dephase_prob = decoherence_probabilities(elapsed, t1, t2)
     ops: list[np.ndarray] = []
     for damping_op in amplitude_damping_kraus(gamma):
         for dephasing_op in dephasing_kraus(dephase_prob):
             ops.append(dephasing_op @ damping_op)
-    return ops
+    return _frozen(*ops)
 
 
+@lru_cache(maxsize=None)
 def readout_povm(error0: float, error1: float) -> tuple[np.ndarray, np.ndarray]:
     """Noisy Z-readout POVM elements for outcomes 0 and 1.
 
@@ -110,6 +147,7 @@ def readout_povm(error0: float, error1: float) -> tuple[np.ndarray, np.ndarray]:
     _check_probability(error1)
     m0 = np.diag([1 - error0, error1]).astype(complex)
     m1 = np.diag([error0, 1 - error1]).astype(complex)
+    m0, m1 = _frozen(m0, m1)
     return m0, m1
 
 

@@ -12,6 +12,7 @@ import numpy as np
 from scipy.linalg import sqrtm
 
 from .bell import bell_vector
+from .bellstate import BellPairState, exact_state
 from .qubit import Qubit
 from .states import QState
 
@@ -47,9 +48,12 @@ def pair_fidelity(qubit_a: Qubit, qubit_b: Qubit, bell_index: int = 0) -> float:
     """
     if qubit_a.state is None or qubit_b.state is None:
         raise ValueError("both qubits must be active")
-    if qubit_a.state is not qubit_b.state:
-        state = QState.merge(qubit_a.state, qubit_b.state)
+    state = qubit_a.state
+    if state is qubit_b.state:
+        if isinstance(state, BellPairState):
+            # Bell formalism: the fidelity IS the weight.
+            return state.fidelity_to(bell_index)
     else:
-        state = qubit_a.state
+        state = QState.merge(exact_state(qubit_a), exact_state(qubit_b))
     dm = state.reduced_dm([qubit_a, qubit_b])
     return bell_fidelity(dm, bell_index)

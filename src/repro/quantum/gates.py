@@ -44,6 +44,15 @@ SWAP_GATE = np.array(
 )
 
 
+# The module-level matrices are shared by every caller (and, since the Kraus
+# builders are memoized, live inside cached channel tuples); mark them
+# read-only so an accidental in-place edit fails loudly instead of silently
+# corrupting every subsequent operation.
+for _gate in (I2, X, Y, Z, H, S, T, CNOT, CZ, SWAP_GATE, *PAULI_FRAME):
+    _gate.setflags(write=False)
+del _gate
+
+
 def rx(theta: float) -> np.ndarray:
     """Rotation about the X axis by ``theta`` radians."""
     c, s = np.cos(theta / 2), np.sin(theta / 2)

@@ -19,6 +19,7 @@ from typing import Tuple
 import numpy as np
 
 from .bell import swap_combine
+from .bellstate import BellPairState, exact_state as _exact_state, swap_measure
 from .channels import two_qubit_depolarizing_kraus, depolarizing_kraus
 from .gates import CNOT, H, PAULI_FRAME, S, X, Z
 from .qubit import Qubit
@@ -78,9 +79,9 @@ def create_bell_pair(index: int = 0, fidelity: float = 1.0,
 def _ensure_joint(qubit_a: Qubit, qubit_b: Qubit) -> QState:
     if qubit_a.state is None or qubit_b.state is None:
         raise ValueError("operation on freed qubit")
-    if qubit_a.state is not qubit_b.state:
-        return QState.merge(qubit_a.state, qubit_b.state)
-    return qubit_a.state
+    if qubit_a.state is qubit_b.state:
+        return _exact_state(qubit_a)
+    return QState.merge(_exact_state(qubit_a), _exact_state(qubit_b))
 
 
 def bell_state_measurement(qubit_a: Qubit, qubit_b: Qubit, rng,
@@ -92,7 +93,23 @@ def bell_state_measurement(qubit_a: Qubit, qubit_b: Qubit, rng,
     two-bit outcome index is returned, with readout errors applied to the
     reported bits.  The remaining qubits of the merged state — the remote
     halves of the two input pairs — are left entangled with each other.
+
+    When both qubits are halves of two distinct Bell-diagonal pairs the
+    whole measurement collapses to the O(1) XOR-convolution fast path of
+    :mod:`repro.quantum.bellstate`; any other configuration promotes to the
+    exact engine.
     """
+    if (isinstance(qubit_a.state, BellPairState)
+            and isinstance(qubit_b.state, BellPairState)
+            and qubit_a.state is not qubit_b.state):
+        outcome = swap_measure(qubit_a, qubit_b, rng,
+                               two_qubit_depolar=ops.two_qubit_depolar_prob,
+                               single_qubit_depolar=ops.single_qubit_depolar_prob)
+        phase_bit = (outcome >> 1) & 1
+        parity_bit = outcome & 1
+        phase_bit ^= _readout_flip(phase_bit, rng, ops)
+        parity_bit ^= _readout_flip(parity_bit, rng, ops)
+        return (phase_bit << 1) | parity_bit
     state = _ensure_joint(qubit_a, qubit_b)
     if ops.two_qubit_depolar_prob > 0:
         state.apply_channel(two_qubit_depolarizing_kraus(ops.two_qubit_depolar_prob),
@@ -131,10 +148,20 @@ def measure_qubit(qubit: Qubit, rng, basis: str = "Z",
     """
     if qubit.state is None:
         raise ValueError("cannot measure a freed qubit")
-    rotation = _BASIS_ROTATIONS.get(basis.upper())
-    if basis.upper() not in _BASIS_ROTATIONS:
+    basis = basis.upper()
+    if basis not in _BASIS_ROTATIONS:
         raise ValueError(f"unknown basis {basis!r}")
     state = qubit.state
+    if isinstance(state, BellPairState):
+        # O(1) fast path: depolarizing commutes with the basis rotation
+        # (it is unitarily covariant), so apply it to the weights and
+        # sample directly; the partner collapses to its exact conditional
+        # single-qubit state.
+        if ops.single_qubit_depolar_prob > 0:
+            state.apply_depolarizing(ops.single_qubit_depolar_prob, qubit)
+        bit = state.measure_in_basis(qubit, basis, rng)
+        return bit ^ _readout_flip(bit, rng, ops)
+    rotation = _BASIS_ROTATIONS.get(basis)
     if rotation is not None:
         state.apply_unitary(rotation, [qubit])
     if ops.single_qubit_depolar_prob > 0:
@@ -156,9 +183,9 @@ def pauli_correct(qubit: Qubit, frame_index: int,
     if frame_index == 0:
         return
     state = qubit.state
-    state.apply_unitary(PAULI_FRAME[frame_index], [qubit])
+    state.apply_pauli(frame_index, qubit)
     if ops.single_qubit_depolar_prob > 0:
-        state.apply_channel(depolarizing_kraus(ops.single_qubit_depolar_prob), [qubit])
+        state.apply_depolarizing(ops.single_qubit_depolar_prob, qubit)
 
 
 def apply_gate(qubit: Qubit, gate: np.ndarray, ops: NoisyOpParams = PERFECT_OPS) -> None:

@@ -13,10 +13,13 @@ tiny and fast.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Iterable, Sequence
 
 import numpy as np
 
+from .channels import decoherence_kraus, dephasing_kraus, depolarizing_kraus
+from .gates import PAULI_FRAME
 from .qubit import Qubit
 
 _TOL = 1e-9
@@ -114,6 +117,32 @@ class QState:
             raise ValueError("channel has no Kraus operators")
         self.dm = result
 
+    # ------------------------------------------------------------------
+    # Named noise channels (shared interface with the Bell-diagonal backend)
+    # ------------------------------------------------------------------
+
+    def apply_dephasing(self, p: float, qubit: Qubit) -> None:
+        """Phase-flip channel with probability ``p`` on one qubit."""
+        if p > 0:
+            self.apply_channel(dephasing_kraus(p), [qubit])
+
+    def apply_depolarizing(self, p: float, qubit: Qubit) -> None:
+        """Single-qubit depolarizing channel with probability ``p``."""
+        if p > 0:
+            self.apply_channel(depolarizing_kraus(p), [qubit])
+
+    def apply_decoherence(self, elapsed: float, t1: float, t2: float,
+                          qubit: Qubit) -> None:
+        """Combined T1/T2 memory channel for ``elapsed`` ns of idle time."""
+        if elapsed > 0:
+            self.apply_channel(decoherence_kraus(elapsed, t1, t2), [qubit])
+
+    def apply_pauli(self, frame_index: int, qubit: Qubit) -> None:
+        """Apply the Pauli frame ``X^b Z^a`` (packed two-bit index)."""
+        frame_index = int(frame_index) & 0b11
+        if frame_index:
+            self.apply_unitary(PAULI_FRAME[frame_index], [qubit])
+
     def measure(self, qubit: Qubit, rng, remove: bool = True) -> int:
         """Projective Z measurement; collapses and (optionally) removes the qubit.
 
@@ -184,6 +213,36 @@ class QState:
         return f"<QState [{names}]>"
 
 
+@lru_cache(maxsize=None)
+def _left_perm(n: int, targets: tuple[int, ...]) -> tuple[int, ...]:
+    """Inverse transpose permutation for :func:`_apply_left`.
+
+    After the tensordot the op's output axes sit first, followed by the
+    remaining axes in original order; this permutation moves every axis back
+    to its home position.  The argument space is tiny (n ≤ 4, a handful of
+    target tuples) but each entry used to cost O(n²) ``list.index`` calls on
+    every single gate application — the hottest line of the exact engine.
+    """
+    rest = [axis for axis in range(2 * n) if axis not in targets]
+    current_order = list(targets) + rest
+    perm = [0] * (2 * n)
+    for position, axis in enumerate(current_order):
+        perm[axis] = position
+    return tuple(perm)
+
+
+@lru_cache(maxsize=None)
+def _right_perm(n: int, targets: tuple[int, ...]) -> tuple[int, ...]:
+    """Inverse transpose permutation for :func:`_apply_right` (op axes last)."""
+    column_targets = [t + n for t in targets]
+    rest = [axis for axis in range(2 * n) if axis not in column_targets]
+    current_order = rest + column_targets
+    perm = [0] * (2 * n)
+    for position, axis in enumerate(current_order):
+        perm[axis] = position
+    return tuple(perm)
+
+
 def _apply_left(dm: np.ndarray, op: np.ndarray, targets: list[int], n: int) -> np.ndarray:
     """Multiply ``op`` (on ``targets``) into the row indices of ``dm``."""
     k = len(targets)
@@ -194,9 +253,7 @@ def _apply_left(dm: np.ndarray, op: np.ndarray, targets: list[int], n: int) -> n
     contracted = np.tensordot(op_tensor, tensor,
                               axes=(list(range(k, 2 * k)), targets))
     # tensordot puts the op's output axes first; move them back into place.
-    rest = [axis for axis in range(2 * n) if axis not in targets]
-    current_order = list(targets) + rest
-    perm = [current_order.index(axis) for axis in range(2 * n)]
+    perm = _left_perm(n, tuple(targets))
     return contracted.transpose(perm).reshape(2 ** n, 2 ** n)
 
 
@@ -209,9 +266,7 @@ def _apply_right(dm: np.ndarray, op: np.ndarray, targets: list[int], n: int) -> 
     contracted = np.tensordot(tensor, op_tensor,
                               axes=(column_targets, list(range(k))))
     # tensordot appends the op's output axes at the end; restore positions.
-    rest = [axis for axis in range(2 * n) if axis not in column_targets]
-    current_order = rest + column_targets
-    perm = [current_order.index(axis) for axis in range(2 * n)]
+    perm = _right_perm(n, tuple(targets))
     return contracted.transpose(perm).reshape(2 ** n, 2 ** n)
 
 

@@ -95,12 +95,31 @@ class TestLatencySummary:
         assert summary.p95 == pytest.approx(95.05)
 
 
+def _seed_scenario(seed: int) -> float:
+    """Module-level scenario so the parallel sweep can pickle it."""
+    rng_state = (seed * 2654435761) % 97
+    return float(seed * 2 + rng_state * 0)
+
+
 class TestHarness:
     def test_run_seeds(self):
         sweep = run_seeds(lambda seed: float(seed * 2), range(5))
         assert sweep.samples == [0.0, 2.0, 4.0, 6.0, 8.0]
         assert sweep.mean == 4.0
         assert sweep.sem > 0
+
+    def test_parallel_sweep_matches_serial(self):
+        serial = run_seeds(_seed_scenario, range(8))
+        parallel = run_seeds(_seed_scenario, range(8), parallel=True,
+                             workers=4)
+        assert parallel.samples == serial.samples
+        assert parallel.mean == serial.mean
+
+    def test_parallel_single_worker_falls_back_to_serial(self):
+        # workers=1 must not require a picklable scenario (no pool spawned).
+        sweep = run_seeds(lambda seed: float(seed + 1), range(4),
+                          parallel=True, workers=1)
+        assert sweep.samples == [1.0, 2.0, 3.0, 4.0]
 
     def test_render_table_alignment(self):
         table = render_table(["name", "value"],

@@ -42,6 +42,24 @@ def test_trace_runs(capsys):
     assert "FORWARD" in out
 
 
+def test_formalism_flag_parsed():
+    parser = build_parser()
+    args = parser.parse_args(["--formalism", "bell", "quickstart"])
+    assert args.formalism == "bell"
+    assert build_parser().parse_args(["chain"]).formalism == "dm"
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["--formalism", "nope", "chain"])
+
+
+def test_quickstart_runs_on_bell_backend(capsys):
+    code = main(["--seed", "3", "--formalism", "bell", "quickstart",
+                 "--pairs", "2"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "status completed" in out
+    assert "F=" in out
+
+
 def test_custom_options_reflected(capsys):
     main(["--seed", "6", "chain", "--nodes", "3", "--pairs", "2",
           "--fidelity", "0.85"])
