@@ -106,6 +106,32 @@ def bench_averaged_swap_map():
     return lambda: averaged_swap_dm(rho, rho, ops)
 
 
+#: Filled by the traffic benchmark as a side channel: sustained end-to-end
+#: pair throughput (pairs per simulated second) per formalism.
+TRAFFIC_STATS: dict[str, float] = {}
+
+
+def bench_traffic_round(formalism: str):
+    """Sustained concurrent traffic: 8 circuits on a 3x3 grid.
+
+    Times one full workload round (install 8 circuits, 1 s of Poisson
+    session traffic at load 0.8, drain, teardown) and records the
+    simulated pair throughput in ``TRAFFIC_STATS``.
+    """
+    from repro.traffic import TrafficEngine, build_topology
+
+    def run():
+        net = build_topology("grid", 3, seed=7, formalism=formalism)
+        engine = TrafficEngine(net, circuits=8, load=0.8, seed=7)
+        report = engine.run(horizon_s=1.0, drain_s=0.5)
+        assert len(engine.circuits) >= 8
+        assert report.total_confirmed_pairs > 0
+        TRAFFIC_STATS[formalism] = round(report.throughput_pairs_per_s, 2)
+        return report.total_confirmed_pairs
+
+    return run
+
+
 def bench_link_generation_round(formalism: str):
     from repro.network.builder import build_chain_network
 
@@ -139,6 +165,8 @@ BENCHMARKS = {
     "averaged_swap_map": (bench_averaged_swap_map, 20),
     "link_generation_round_dm": (lambda: bench_link_generation_round("dm"), 5),
     "link_generation_round_bell": (lambda: bench_link_generation_round("bell"), 5),
+    "traffic_round_dm": (lambda: bench_traffic_round("dm"), 1),
+    "traffic_round_bell": (lambda: bench_traffic_round("bell"), 1),
 }
 
 
@@ -164,7 +192,7 @@ def main(argv=None) -> int:
         print(f"{name:30s} {median / 1e3:12.2f} us/op")
 
     speedups = {}
-    for op in ("bsm", "link_generation_round"):
+    for op in ("bsm", "link_generation_round", "traffic_round"):
         dm_key, bell_key = f"{op}_dm", f"{op}_bell"
         if dm_key in results and bell_key in results:
             speedups[op] = round(results[dm_key] / results[bell_key], 2)
@@ -177,6 +205,12 @@ def main(argv=None) -> int:
         "results": results,
         "speedup_bell_over_dm": speedups,
     }
+    if TRAFFIC_STATS:
+        # Simulated end-to-end throughput under 8 concurrent circuits
+        # (pairs per simulated second, from the traffic_round scenarios).
+        payload["traffic_pairs_per_s"] = dict(sorted(TRAFFIC_STATS.items()))
+        for formalism, value in sorted(TRAFFIC_STATS.items()):
+            print(f"traffic throughput ({formalism}): {value} pairs/s")
     out = args.out or (Path(__file__).resolve().parent.parent
                        / f"BENCH_{revision}.json")
     out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

@@ -7,13 +7,15 @@ Usage::
     python -m repro qkd --pairs 40
     python -m repro near-term --pairs 10
     python -m repro trace --pairs 2
+    python -m repro traffic --topology grid --size 4 --circuits 8 --load 0.7
 
-``--formalism bell`` (a global flag, so it precedes the subcommand::
+``--formalism bell`` runs any scenario on the fast Bell-diagonal state
+backend instead of the exact density-matrix engine — see DESIGN.md for when
+the two agree exactly.  The flag is accepted both globally and after the
+subcommand (the subcommand's value wins)::
 
     python -m repro --formalism bell quickstart
-
-) runs any scenario on the fast Bell-diagonal state backend instead of the
-exact density-matrix engine — see DESIGN.md for when the two agree exactly.
+    python -m repro quickstart --formalism bell
 
 Each subcommand builds a network, drives the full stack and prints a
 summary — handy for demos and for eyeballing behaviour after changes.
@@ -92,6 +94,31 @@ def _cmd_near_term(args: argparse.Namespace) -> int:
     return 0 if handle.delivered else 1
 
 
+def _cmd_traffic(args: argparse.Namespace) -> int:
+    from .traffic import TOPOLOGIES, TrafficEngine, build_topology
+
+    if args.topology not in TOPOLOGIES:  # pragma: no cover - argparse guards
+        raise SystemExit(f"unknown topology {args.topology!r}")
+    net = build_topology(args.topology, args.size, seed=args.seed,
+                         formalism=args.formalism)
+    print(f"topology {args.topology} size {args.size}: "
+          f"{len(net.nodes)} nodes, {len(net.links)} links "
+          f"({net.formalism} formalism)")
+    engine = TrafficEngine(net, circuits=args.circuits, load=args.load,
+                           target_fidelity=args.fidelity, seed=args.seed)
+    engine.install()
+    print(f"installed {len(engine.circuits)} circuits; running "
+          f"{args.horizon:.1f} s of traffic at load {args.load:.2f}...")
+    # --timeout caps the post-horizon drain of in-flight sessions (the
+    # horizon itself is --horizon, same as every other subcommand's
+    # simulated budget).
+    report = engine.run(horizon_s=args.horizon,
+                        drain_s=min(args.horizon, args.timeout))
+    print()
+    print(report.render())
+    return 0 if report.total_confirmed_pairs > 0 else 1
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from .analysis import attach_trace
 
@@ -117,31 +144,74 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--formalism", choices=list(FORMALISMS), default="dm",
                         help="quantum-state backend: exact density matrices"
                              " ('dm') or fast Bell-diagonal weights ('bell')")
+    # The global flags are accepted after the subcommand too (an easy
+    # trip-up otherwise).  SUPPRESS keeps the namespace untouched when a
+    # subcommand flag is absent, so the global value survives; when present
+    # it overwrites the global one.
+    formalism_flag = argparse.ArgumentParser(add_help=False)
+    formalism_flag.add_argument("--formalism", choices=list(FORMALISMS),
+                                default=argparse.SUPPRESS,
+                                help="quantum-state backend (overrides the"
+                                     " global --formalism)")
+    formalism_flag.add_argument("--seed", type=int, default=argparse.SUPPRESS,
+                                help="simulation seed (overrides the global"
+                                     " --seed)")
+    formalism_flag.add_argument("--timeout", type=float,
+                                default=argparse.SUPPRESS,
+                                help="simulated-seconds budget (overrides"
+                                     " the global --timeout)")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    quickstart = sub.add_parser("quickstart", help="3-node chain demo")
+    quickstart = sub.add_parser("quickstart", help="3-node chain demo",
+                                parents=[formalism_flag])
     quickstart.add_argument("--pairs", type=int, default=5)
     quickstart.add_argument("--fidelity", type=float, default=0.8)
     quickstart.set_defaults(fn=_cmd_quickstart)
 
-    chain = sub.add_parser("chain", help="linear repeater chain")
+    chain = sub.add_parser("chain", help="linear repeater chain",
+                           parents=[formalism_flag])
     chain.add_argument("--nodes", type=int, default=4)
     chain.add_argument("--pairs", type=int, default=3)
     chain.add_argument("--fidelity", type=float, default=0.75)
     chain.set_defaults(fn=_cmd_chain)
 
-    qkd = sub.add_parser("qkd", help="BBM92 over the Fig 7 dumbbell")
+    qkd = sub.add_parser("qkd", help="BBM92 over the Fig 7 dumbbell",
+                         parents=[formalism_flag])
     qkd.add_argument("--pairs", type=int, default=40)
     qkd.add_argument("--fidelity", type=float, default=0.85)
     qkd.set_defaults(fn=_cmd_qkd)
 
-    near = sub.add_parser("near-term", help="the Fig 11 scenario")
+    near = sub.add_parser("near-term", help="the Fig 11 scenario",
+                          parents=[formalism_flag])
     near.add_argument("--pairs", type=int, default=10)
     near.set_defaults(fn=_cmd_near_term)
 
-    trace = sub.add_parser("trace", help="print the Fig 6 message sequence")
+    trace = sub.add_parser("trace", help="print the Fig 6 message sequence",
+                           parents=[formalism_flag])
     trace.add_argument("--pairs", type=int, default=2)
     trace.set_defaults(fn=_cmd_trace)
+
+    from .traffic import TOPOLOGIES
+
+    traffic = sub.add_parser(
+        "traffic", help="concurrent multi-circuit traffic engine",
+        parents=[formalism_flag])
+    traffic.add_argument("--topology", choices=sorted(TOPOLOGIES),
+                         default="grid",
+                         help="topology family from the catalogue")
+    traffic.add_argument("--size", type=int, default=4,
+                         help="family size parameter (grid side, ring"
+                              " length, star arms, node count, tree height)")
+    traffic.add_argument("--circuits", type=int, default=8,
+                         help="number of concurrent virtual circuits")
+    traffic.add_argument("--load", type=float, default=0.7,
+                         help="offered load as a fraction of each"
+                              " circuit's admitted EER")
+    traffic.add_argument("--fidelity", type=float, default=0.7,
+                         help="end-to-end target fidelity per circuit")
+    traffic.add_argument("--horizon", type=float, default=2.0,
+                         help="simulated seconds of workload")
+    traffic.set_defaults(fn=_cmd_traffic)
     return parser
 
 

@@ -32,6 +32,9 @@ class Policer:
         self.max_eer = max_eer
         self._active: dict[str, float] = {}
         self._queue: deque[UserRequest] = deque()
+        # Admission statistics (the traffic telemetry reads these).
+        self.accepted_count = 0
+        self.queued_count = 0
         self.rejected_count = 0
 
     @property
@@ -55,10 +58,12 @@ class Policer:
             return PolicerDecision.REJECT
         if needed <= self.available_eer and not self._queue:
             self._activate(request)
+            self.accepted_count += 1
             return PolicerDecision.ACCEPT
         # Fits eventually: shape.  Deadline feasibility is re-checked when
         # the request reaches the head of the queue.
         self._queue.append(request)
+        self.queued_count += 1
         return PolicerDecision.QUEUE
 
     def release(self, request_id: str) -> None:

@@ -144,8 +144,11 @@ class QNPNode(Entity, EndNodeRules, IntermediateRules):
             return
         self._stop_downstream_link(runtime)
         for record in runtime.requests.values():
-            if record.handle is not None \
-                    and record.handle.status == RequestStatus.ACTIVE:
+            if record.handle is not None and record.handle.status in (
+                    RequestStatus.ACTIVE, RequestStatus.QUEUED):
+                # Shaped (queued) requests must abort too: their bandwidth
+                # will never free up on a circuit that no longer exists, and
+                # a handle stuck in QUEUED stalls run_until_complete().
                 record.handle.status = RequestStatus.ABORTED
         self._labels = {key: value for key, value in self._labels.items()
                         if value != circuit_id}

@@ -28,7 +28,12 @@ class DeviceArbiter(Entity):
         super().__init__(sim, name or "arbiter")
         self.serialize = serialize
         self._busy = False
-        self._waiters: deque[Callable[[], None]] = deque()
+        self._waiters: deque[tuple[Callable[[], None], float]] = deque()
+        # Telemetry (the traffic report reads these): grants issued, total
+        # simulated time spent queued before a grant, deepest queue seen.
+        self.grants = 0
+        self.total_wait = 0.0
+        self.max_queue_length = 0
 
     @property
     def busy(self) -> bool:
@@ -38,17 +43,26 @@ class DeviceArbiter(Entity):
     def queue_length(self) -> int:
         return len(self._waiters)
 
+    @property
+    def mean_wait(self) -> float:
+        """Mean queueing delay per grant (ns; 0 when nothing was granted)."""
+        return self.total_wait / self.grants if self.grants else 0.0
+
     def acquire(self, on_grant: Callable[[], None]) -> None:
         """Request the device; ``on_grant`` fires (via the event queue) when
         it is ours.  In parallel mode the grant is immediate."""
         if not self.serialize:
+            self.grants += 1
             self.call_in(0.0, on_grant)
             return
         if not self._busy:
             self._busy = True
+            self.grants += 1
             self.call_in(0.0, on_grant)
         else:
-            self._waiters.append(on_grant)
+            self._waiters.append((on_grant, self.now))
+            if len(self._waiters) > self.max_queue_length:
+                self.max_queue_length = len(self._waiters)
 
     def release(self) -> None:
         """Give the device back; the next waiter (if any) is granted."""
@@ -57,7 +71,9 @@ class DeviceArbiter(Entity):
         if not self._busy:
             raise RuntimeError(f"{self.name}: release without acquire")
         if self._waiters:
-            next_grant = self._waiters.popleft()
+            next_grant, enqueued_at = self._waiters.popleft()
+            self.grants += 1
+            self.total_wait += self.now - enqueued_at
             self.call_in(0.0, next_grant)
         else:
             self._busy = False

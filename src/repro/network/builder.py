@@ -105,6 +105,11 @@ class Network:
         """Name of the active state formalism."""
         return self.backend.name
 
+    @property
+    def graph(self) -> nx.Graph:
+        """The wired topology (read-only view used by traffic tooling)."""
+        return self._graph
+
     def add_node(self, name: str) -> QuantumNode:
         node = QuantumNode(self.sim, name, self.params, backend=self.backend)
         self.nodes[name] = node
@@ -191,12 +196,15 @@ class Network:
         ready = []
         self.signalling[route.path[0]].establish(entries,
                                                  on_ready=ready.append)
-        guard = 0
+        # The handshake needs a few propagation delays of simulated time.
+        # Budget in *time*, not event count: when other circuits are already
+        # carrying traffic, thousands of unrelated link events fire per
+        # propagation delay and an event-count guard trips spuriously.
+        deadline = self.sim.now + 60.0 * S
         while not ready:
-            guard += 1
-            if guard > 10_000 or self.sim.pending_events() == 0:
+            if self.sim.now >= deadline or self.sim.pending_events() == 0:
                 raise RuntimeError(f"circuit {circuit_id} installation stalled")
-            self._step()
+            self._step(limit=deadline)
         self._circuit_meta[circuit_id] = {"route": route}
         return circuit_id
 
@@ -302,7 +310,11 @@ class Network:
             if submission.oracle_min_fidelity is not None:
                 matched.accepted = matched.fidelity >= submission.oracle_min_fidelity
             # Consume the pair so long runs do not accumulate state.
-            head_delivery.qubit.state.remove(head_delivery.qubit)
+            # Either side's state may already be gone: removing one half can
+            # drop its partner, and under heavy traffic a cutoff discard can
+            # race the delivery match.
+            if head_delivery.qubit.state is not None:
+                head_delivery.qubit.state.remove(head_delivery.qubit)
             if tail_delivery.qubit.state is not None:
                 tail_delivery.qubit.state.remove(tail_delivery.qubit)
         submission.matched.append(matched)
@@ -356,6 +368,39 @@ class Network:
 # ----------------------------------------------------------------------
 # Canonical topologies
 # ----------------------------------------------------------------------
+
+def build_network_from_graph(graph: nx.Graph, length_km: float = 0.002,
+                             params: HardwareParams = SIMULATION,
+                             seed: int = 0, slice_attempts: int = 100,
+                             formalism: str | Backend = "dm",
+                             attenuation: float =
+                             LAB_WAVELENGTH_ATTENUATION_DB_PER_KM) -> Network:
+    """Wire an arbitrary connected graph into a full :class:`Network`.
+
+    The generic entry point behind the topology catalogue
+    (:mod:`repro.traffic.topologies`): every graph node becomes a quantum
+    node (names are ``str(node)``) and every edge a heralded link plus a
+    classical channel.  Nodes and edges are added in sorted order so the
+    wiring — and therefore the event schedule — is deterministic for a
+    given graph and seed.
+    """
+    if graph.number_of_nodes() < 2:
+        raise ValueError("a network needs at least two nodes")
+    if not nx.is_connected(graph):
+        raise ValueError("the topology graph must be connected")
+    names = {node: str(node) for node in graph.nodes}
+    if len(set(names.values())) != len(names):
+        raise ValueError("node names collide after str() conversion")
+    net = Network(Simulator(seed=seed), params, formalism=formalism)
+    for node in sorted(graph.nodes, key=str):
+        net.add_node(names[node])
+    for edge_a, edge_b in sorted(graph.edges,
+                                 key=lambda edge: tuple(sorted(map(str, edge)))):
+        net.connect(names[edge_a], names[edge_b], length_km,
+                    attenuation=attenuation, slice_attempts=slice_attempts)
+    net.finalise()
+    return net
+
 
 def build_chain_network(num_nodes: int, length_km: float = 0.002,
                         params: HardwareParams = SIMULATION,

@@ -1,0 +1,43 @@
+"""Traffic engine: topology catalogue + concurrent-workload subsystem.
+
+This package turns the single-circuit reproduction into a traffic
+testbed: seeded topology families (:mod:`~repro.traffic.topologies`),
+stochastic multi-class session workloads (:mod:`~repro.traffic.arrivals`,
+:mod:`~repro.traffic.workload`) and structured telemetry
+(:mod:`~repro.traffic.metrics`).  Entry points::
+
+    from repro.traffic import build_topology, TrafficEngine
+
+    net = build_topology("grid", 4, seed=1, formalism="bell")
+    report = TrafficEngine(net, circuits=8, load=0.7).run(horizon_s=5.0)
+    print(report.render())
+
+or, from the command line, ``python -m repro traffic --topology grid
+--size 4 --circuits 8 --load 0.7``.
+"""
+
+from .arrivals import (
+    DEFAULT_CLASSES,
+    PriorityClass,
+    SessionSpec,
+    poisson_schedule,
+)
+from .metrics import TrafficReport, build_report
+from .topologies import TOPOLOGIES, build_topology, topology_graph
+from .workload import SessionRecord, TrafficCircuit, TrafficEngine, run_traffic
+
+__all__ = [
+    "DEFAULT_CLASSES",
+    "PriorityClass",
+    "SessionSpec",
+    "SessionRecord",
+    "TOPOLOGIES",
+    "TrafficCircuit",
+    "TrafficEngine",
+    "TrafficReport",
+    "build_report",
+    "build_topology",
+    "poisson_schedule",
+    "run_traffic",
+    "topology_graph",
+]

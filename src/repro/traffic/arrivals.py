@@ -1,0 +1,146 @@
+"""Stochastic session workloads: Poisson arrivals and priority classes.
+
+A *session* is one application-level request for end-to-end pairs on one
+circuit: it arrives at a Poisson instant, asks for a sampled number of
+pairs and — except for best-effort traffic — carries a deadline that
+translates into a minimum EER demand (``UserRequest.minimum_eer``), which
+is what the head-end policer admits, shapes or rejects against.
+
+The schedule is materialised up-front from a dedicated RNG: given the
+same seed, class mix and load, the workload is byte-for-byte identical
+regardless of what the simulation itself does, which keeps traffic runs
+reproducible and lets the engine simply post one timer per session.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+
+@dataclass(frozen=True)
+class PriorityClass:
+    """One class of service in the workload mix.
+
+    ``eer_fraction`` is the share of the circuit's maximum EER a session
+    demands (through its deadline): the policer ACCEPTs while fractions
+    sum below 1, QUEUEs the overflow, and REJECTs any class whose
+    fraction alone exceeds 1.  A fraction of 0 means best-effort — no
+    deadline, zero minimum EER, always admitted.
+    """
+
+    name: str
+    #: Relative probability that a session belongs to this class.
+    share: float
+    #: Mean pairs per session (sampled geometrically, minimum 1).
+    mean_pairs: float
+    #: Fraction of the circuit's max EER one session demands (0 = none).
+    eer_fraction: float
+
+    def __post_init__(self):
+        if self.share <= 0:
+            raise ValueError("class share must be positive")
+        if self.mean_pairs < 1:
+            raise ValueError("mean_pairs must be at least 1")
+        if self.eer_fraction < 0:
+            raise ValueError("eer_fraction cannot be negative")
+
+
+#: Default three-class mix: premium sessions that hog half the circuit,
+#: standard sessions at a quarter, and best-effort filler.
+DEFAULT_CLASSES = (
+    PriorityClass("gold", share=0.2, mean_pairs=6.0, eer_fraction=0.5),
+    PriorityClass("silver", share=0.3, mean_pairs=4.0, eer_fraction=0.25),
+    PriorityClass("best-effort", share=0.5, mean_pairs=3.0, eer_fraction=0.0),
+)
+
+
+def stream_seed(seed: int, index: int) -> int:
+    """A distinct, deterministic RNG seed per (workload seed, stream)."""
+    return seed * 1_000_003 + index + 1
+
+
+@dataclass(frozen=True)
+class SessionSpec:
+    """One scheduled session: when, where, what."""
+
+    circuit_index: int
+    arrival_ns: float
+    priority: PriorityClass
+    num_pairs: int
+
+
+def sample_exponential(rng: random.Random, mean: float) -> float:
+    """One exponential inter-arrival gap with the given mean."""
+    return rng.expovariate(1.0 / mean)
+
+
+def sample_geometric(rng: random.Random, mean: float) -> int:
+    """A geometric session size with the given mean, minimum 1."""
+    if mean <= 1.0:
+        return 1
+    # Geometric on {1, 2, ...} with success probability 1/mean.
+    p = 1.0 / mean
+    return 1 + int(math.log(1.0 - rng.random()) / math.log(1.0 - p))
+
+
+def pick_class(rng: random.Random,
+               classes: Sequence[PriorityClass]) -> PriorityClass:
+    """Sample a priority class proportionally to the shares."""
+    total = sum(cls.share for cls in classes)
+    point = rng.random() * total
+    for cls in classes:
+        point -= cls.share
+        if point < 0:
+            return cls
+    return classes[-1]
+
+
+def poisson_schedule(num_circuits: int, horizon_ns: float,
+                     mean_interarrival_ns: float | Sequence[float],
+                     classes: Sequence[PriorityClass] = DEFAULT_CLASSES,
+                     seed: int = 0,
+                     max_sessions: Optional[int] = None) -> list[SessionSpec]:
+    """Materialise the full workload: independent Poisson streams per
+    circuit, merged and sorted by arrival time.
+
+    ``mean_interarrival_ns`` applies per circuit — a scalar for a uniform
+    workload or one value per circuit (circuits have different capacities,
+    so calibrating offered load needs per-circuit rates).  ``max_sessions``
+    caps the merged schedule (earliest sessions win) to bound very long
+    horizons.
+    """
+    if num_circuits < 1:
+        raise ValueError("need at least one circuit")
+    if horizon_ns <= 0:
+        raise ValueError("horizon must be positive")
+    if isinstance(mean_interarrival_ns, (int, float)):
+        means = [float(mean_interarrival_ns)] * num_circuits
+    else:
+        means = [float(mean) for mean in mean_interarrival_ns]
+        if len(means) != num_circuits:
+            raise ValueError("need one mean inter-arrival per circuit")
+    if any(mean <= 0 for mean in means):
+        raise ValueError("mean inter-arrival must be positive")
+    if not classes:
+        raise ValueError("need at least one priority class")
+    sessions: list[SessionSpec] = []
+    for circuit_index, circuit_mean in enumerate(means):
+        # One independent, seed-stable stream per circuit.
+        rng = random.Random(stream_seed(seed, circuit_index))
+        t = sample_exponential(rng, circuit_mean)
+        while t < horizon_ns:
+            cls = pick_class(rng, classes)
+            sessions.append(SessionSpec(
+                circuit_index=circuit_index,
+                arrival_ns=t,
+                priority=cls,
+                num_pairs=sample_geometric(rng, cls.mean_pairs),
+            ))
+            t += sample_exponential(rng, circuit_mean)
+    sessions.sort(key=lambda spec: (spec.arrival_ns, spec.circuit_index))
+    if max_sessions is not None:
+        sessions = sessions[:max_sessions]
+    return sessions

@@ -1,0 +1,293 @@
+"""Traffic telemetry: aggregate a workload run into a structured report.
+
+Collected per run:
+
+* **admission** — policer outcomes (accept / queue / reject) and final
+  request states, per priority class;
+* **circuits** — per-circuit session counts, confirmed pair throughput,
+  shaping delay (submission → activation) and measured mean fidelity;
+* **links** — utilisation (busy time / elapsed), pairs generated,
+  attempts made;
+* **device arbiters** — grants and queueing delay (non-zero only on
+  serialised near-term hardware);
+* **totals** — end-to-end throughput and the fidelity distribution.
+
+Rendering goes through :func:`repro.analysis.experiments.render_table`
+so traffic reports look like every other table in the repository.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from ..analysis.experiments import render_table
+from ..analysis.stats import mean
+from ..core.requests import DeliveryStatus, RequestStatus
+from ..netsim.units import S
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..network.builder import Network
+    from .workload import SessionRecord, TrafficCircuit
+
+
+@dataclass
+class ClassTally:
+    """Admission and completion accounting for one priority class."""
+
+    submitted: int = 0
+    accepted: int = 0
+    queued: int = 0
+    rejected: int = 0
+    completed: int = 0
+    aborted: int = 0
+    unfinished: int = 0
+    pairs_confirmed: int = 0
+    fidelities: list = field(default_factory=list)
+
+
+@dataclass
+class CircuitStats:
+    """One circuit's share of the workload."""
+
+    circuit_id: str
+    head: str
+    tail: str
+    hops: int
+    eer: float
+    sessions: int
+    completed: int
+    pairs_confirmed: int
+    mean_fidelity: Optional[float]
+    #: Mean submission→activation delay of shaped sessions (ns).
+    mean_shaping_delay: float
+
+
+@dataclass
+class LinkStats:
+    name: str
+    utilisation: float
+    pairs_generated: int
+    attempts_made: int
+
+
+@dataclass
+class ArbiterStats:
+    node: str
+    grants: int
+    mean_wait_ns: float
+    max_queue_length: int
+
+
+@dataclass
+class TrafficReport:
+    """Structured result of one traffic run."""
+
+    formalism: str
+    horizon_ns: float
+    elapsed_ns: float
+    classes: dict[str, ClassTally]
+    circuits: list[CircuitStats]
+    links: list[LinkStats]
+    arbiters: list[ArbiterStats]
+
+    # -- scalar telemetry ------------------------------------------------
+
+    @property
+    def elapsed_s(self) -> float:
+        return self.elapsed_ns / S
+
+    @property
+    def total_sessions(self) -> int:
+        return sum(tally.submitted for tally in self.classes.values())
+
+    @property
+    def total_confirmed_pairs(self) -> int:
+        return sum(tally.pairs_confirmed for tally in self.classes.values())
+
+    @property
+    def throughput_pairs_per_s(self) -> float:
+        if self.elapsed_ns <= 0:
+            return 0.0
+        return self.total_confirmed_pairs / self.elapsed_s
+
+    @property
+    def fidelities(self) -> list:
+        samples: list = []
+        for tally in self.classes.values():
+            samples.extend(tally.fidelities)
+        return samples
+
+    @property
+    def mean_fidelity(self) -> Optional[float]:
+        samples = self.fidelities
+        return mean(samples) if samples else None
+
+    # -- rendering -------------------------------------------------------
+
+    def render(self) -> str:
+        blocks = [self._render_totals(), self._render_admission(),
+                  self._render_circuits(), self._render_links()]
+        if any(stats.grants for stats in self.arbiters):
+            blocks.append(self._render_arbiters())
+        return "\n\n".join(blocks)
+
+    def _render_totals(self) -> str:
+        samples = sorted(self.fidelities)
+        lines = [
+            f"traffic run — formalism {self.formalism}, "
+            f"{len(self.circuits)} circuits, "
+            f"{self.total_sessions} sessions in {self.elapsed_s:.2f} s",
+            f"  throughput: {self.total_confirmed_pairs} confirmed pairs "
+            f"({self.throughput_pairs_per_s:.2f} pairs/s end-to-end)",
+        ]
+        if samples:
+            lines.append(
+                f"  fidelity: mean {mean(samples):.4f}, "
+                f"min {samples[0]:.4f}, "
+                f"p50 {samples[len(samples) // 2]:.4f}, "
+                f"max {samples[-1]:.4f}")
+        return "\n".join(lines)
+
+    def _render_admission(self) -> str:
+        rows = []
+        for name, tally in self.classes.items():
+            rows.append([name, tally.submitted, tally.accepted, tally.queued,
+                         tally.rejected, tally.completed, tally.aborted,
+                         tally.unfinished, tally.pairs_confirmed])
+        rows.append(["total",
+                     sum(t.submitted for t in self.classes.values()),
+                     sum(t.accepted for t in self.classes.values()),
+                     sum(t.queued for t in self.classes.values()),
+                     sum(t.rejected for t in self.classes.values()),
+                     sum(t.completed for t in self.classes.values()),
+                     sum(t.aborted for t in self.classes.values()),
+                     sum(t.unfinished for t in self.classes.values()),
+                     sum(t.pairs_confirmed for t in self.classes.values())])
+        return render_table(
+            ["class", "submitted", "accepted", "queued", "rejected",
+             "completed", "aborted", "unfinished", "pairs"],
+            rows, title="admission and completion by priority class")
+
+    def _render_circuits(self) -> str:
+        rows = []
+        for stats in self.circuits:
+            rows.append([
+                stats.circuit_id, f"{stats.head}->{stats.tail}", stats.hops,
+                stats.sessions, stats.completed, stats.pairs_confirmed,
+                ("-" if stats.mean_fidelity is None
+                 else f"{stats.mean_fidelity:.4f}"),
+                f"{stats.mean_shaping_delay / 1e6:.1f}",
+            ])
+        return render_table(
+            ["circuit", "endpoints", "hops", "sessions", "completed",
+             "pairs", "mean F", "shaping (ms)"],
+            rows, title="per-circuit telemetry")
+
+    def _render_links(self) -> str:
+        rows = [[stats.name, f"{stats.utilisation:.3f}",
+                 stats.pairs_generated, stats.attempts_made]
+                for stats in self.links]
+        return render_table(
+            ["link", "utilisation", "pairs", "attempts"],
+            rows, title="per-link utilisation")
+
+    def _render_arbiters(self) -> str:
+        rows = [[stats.node, stats.grants,
+                 f"{stats.mean_wait_ns / 1e3:.2f}", stats.max_queue_length]
+                for stats in self.arbiters]
+        return render_table(
+            ["node", "grants", "mean wait (us)", "max queue"],
+            rows, title="device arbiter queueing")
+
+
+def build_report(net: "Network", circuits: Sequence["TrafficCircuit"],
+                 records: Sequence["SessionRecord"], horizon_ns: float,
+                 elapsed_ns: Optional[float] = None,
+                 classes: Sequence = ()) -> TrafficReport:
+    """Aggregate a finished run into a :class:`TrafficReport`.
+
+    ``elapsed_ns`` is the wall of simulated time the workload actually
+    spanned (horizon + drain); defaults to the simulator clock.
+    """
+    if elapsed_ns is None:
+        elapsed_ns = net.sim.now
+    tallies = {cls.name: ClassTally() for cls in classes}
+    per_circuit_records: dict[str, list] = {
+        circuit.circuit_id: [] for circuit in circuits}
+
+    for record in records:
+        tally = tallies.setdefault(record.spec.priority.name, ClassTally())
+        tally.submitted += 1
+        if record.decision == "accepted":
+            tally.accepted += 1
+        elif record.decision == "queued":
+            tally.queued += 1
+        else:
+            tally.rejected += 1
+        handle = record.handle
+        status = handle.status
+        if status == RequestStatus.COMPLETED:
+            tally.completed += 1
+        elif status == RequestStatus.ABORTED:
+            tally.aborted += 1
+        elif status != RequestStatus.REJECTED:
+            tally.unfinished += 1
+        confirmed = sum(1 for delivery in handle.delivered
+                        if delivery.status == DeliveryStatus.CONFIRMED)
+        tally.pairs_confirmed += confirmed
+        matched = getattr(handle, "matched_pairs", [])
+        tally.fidelities.extend(pair.fidelity for pair in matched
+                                if pair.fidelity is not None)
+        per_circuit_records[record.circuit_id].append(record)
+
+    circuit_stats = []
+    for circuit in circuits:
+        circuit_records = per_circuit_records[circuit.circuit_id]
+        fidelities = [pair.fidelity for record in circuit_records
+                      for pair in getattr(record.handle, "matched_pairs", [])
+                      if pair.fidelity is not None]
+        shaping = [record.handle.t_started - record.handle.t_submitted
+                   for record in circuit_records
+                   if record.handle.t_started is not None]
+        circuit_stats.append(CircuitStats(
+            circuit_id=circuit.circuit_id,
+            head=circuit.head,
+            tail=circuit.tail,
+            hops=circuit.hops,
+            eer=circuit.eer,
+            sessions=len(circuit_records),
+            completed=sum(1 for record in circuit_records
+                          if record.handle.status == RequestStatus.COMPLETED),
+            pairs_confirmed=sum(
+                1 for record in circuit_records
+                for delivery in record.handle.delivered
+                if delivery.status == DeliveryStatus.CONFIRMED),
+            mean_fidelity=mean(fidelities) if fidelities else None,
+            mean_shaping_delay=mean(shaping) if shaping else 0.0,
+        ))
+
+    link_stats = [
+        LinkStats(name=link.name,
+                  utilisation=(link.busy_time / elapsed_ns
+                               if elapsed_ns > 0 else 0.0),
+                  pairs_generated=link.pairs_generated,
+                  attempts_made=link.attempts_made)
+        for _, link in sorted(net.links.items(),
+                              key=lambda item: item[1].name)]
+
+    arbiter_stats = [
+        ArbiterStats(node=name, grants=node.arbiter.grants,
+                     mean_wait_ns=node.arbiter.mean_wait,
+                     max_queue_length=node.arbiter.max_queue_length)
+        for name, node in sorted(net.nodes.items())]
+
+    return TrafficReport(
+        formalism=net.formalism,
+        horizon_ns=horizon_ns,
+        elapsed_ns=elapsed_ns,
+        classes=tallies,
+        circuits=circuit_stats,
+        links=link_stats,
+        arbiters=arbiter_stats,
+    )

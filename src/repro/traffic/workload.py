@@ -1,0 +1,245 @@
+"""The concurrent-workload engine: many circuits, stochastic sessions.
+
+``TrafficEngine`` drives a wired :class:`~repro.network.builder.Network`
+the way a population of applications would:
+
+1. **circuit installation** — sample endpoint pairs from the topology
+   (bounded hop distance so the fidelity budget stays feasible) and
+   establish one virtual circuit per pair through the normal
+   routing/signalling path;
+2. **workload** — materialise a Poisson session schedule per circuit
+   (:func:`repro.traffic.arrivals.poisson_schedule`), calibrated so the
+   offered pair rate is ``load`` × the circuit's admitted EER, and submit
+   each session through :meth:`Network.submit` when its arrival timer
+   fires — the head-end policer's ACCEPT / QUEUE / REJECT decision is
+   recorded and respected (queued sessions simply wait their turn;
+   rejected ones are never retried);
+3. **drain + teardown** — after the horizon, give in-flight sessions a
+   bounded grace period, then tear every circuit down (aborting whatever
+   is still queued) and aggregate telemetry into a
+   :class:`~repro.traffic.metrics.TrafficReport`.
+
+Everything is deterministic in ``(network seed, engine seed)``: endpoint
+sampling, the session schedule and the simulation itself each draw from
+their own seeded stream.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import networkx as nx
+
+from ..control.routing import RouteError
+from ..core.requests import RequestHandle, RequestStatus, UserRequest
+from ..netsim.units import S
+from ..network.builder import Network
+from .arrivals import (
+    DEFAULT_CLASSES,
+    PriorityClass,
+    SessionSpec,
+    poisson_schedule,
+    stream_seed,
+)
+from .metrics import TrafficReport, build_report
+
+
+@dataclass
+class TrafficCircuit:
+    """One installed circuit of the workload."""
+
+    index: int
+    circuit_id: str
+    head: str
+    tail: str
+    hops: int
+    #: Admitted end-to-end rate (the policer's budget), pairs/s.
+    eer: float
+
+
+@dataclass
+class SessionRecord:
+    """One submitted session and its admission outcome."""
+
+    spec: SessionSpec
+    circuit_id: str
+    handle: RequestHandle
+    #: Initial policer decision: "accepted", "queued" or "rejected".
+    decision: str
+
+
+class TrafficEngine:
+    """Drive a network with many concurrent circuits and sessions."""
+
+    def __init__(self, net: Network, *, circuits: int = 8, load: float = 0.7,
+                 target_fidelity: float = 0.7, cutoff_policy: str = "short",
+                 classes: Sequence[PriorityClass] = DEFAULT_CLASSES,
+                 seed: Optional[int] = None, min_hops: int = 1,
+                 max_hops: int = 4,
+                 endpoint_pairs: Optional[Sequence[tuple[str, str]]] = None,
+                 max_sessions: int = 2000):
+        if circuits < 1:
+            raise ValueError("need at least one circuit")
+        if load <= 0:
+            raise ValueError("load must be positive")
+        self.net = net
+        self.num_circuits = circuits
+        self.load = load
+        self.target_fidelity = target_fidelity
+        self.cutoff_policy = cutoff_policy
+        self.classes = tuple(classes)
+        self.seed = net.sim.seed if seed is None else seed
+        self.min_hops = min_hops
+        self.max_hops = max_hops
+        self.endpoint_pairs = (None if endpoint_pairs is None
+                               else list(endpoint_pairs))
+        self.max_sessions = max_sessions
+        self.circuits: list[TrafficCircuit] = []
+        self.records: list[SessionRecord] = []
+        self._ran = False
+        # Endpoint stream (-1) is disjoint from the per-circuit arrival
+        # streams, which use stream indices >= 0.
+        self._rng = random.Random(stream_seed(self.seed, -1))
+
+    # ------------------------------------------------------------------
+    # Circuit installation
+    # ------------------------------------------------------------------
+
+    def install(self) -> list[TrafficCircuit]:
+        """Sample endpoints and establish the workload's circuits."""
+        if self.circuits:
+            return self.circuits
+        candidates = (self.endpoint_pairs if self.endpoint_pairs is not None
+                      else self._candidate_pairs())
+        if not candidates:
+            raise ValueError(
+                f"no endpoint pairs at hop distance "
+                f"[{self.min_hops}, {self.max_hops}] in this topology")
+        order = list(candidates)
+        self._rng.shuffle(order)
+        cursor = 0
+        established_this_pass = 0
+        while len(self.circuits) < self.num_circuits:
+            if cursor >= len(order):
+                # Reuse endpoint pairs once the pool runs out (several
+                # circuits between the same endpoints is a valid workload,
+                # cf. the paper's Fig 8 sharing study).  Only a pass that
+                # established nothing means we are stuck: every remaining
+                # candidate fails routing at this fidelity.
+                if established_this_pass == 0:
+                    raise RuntimeError(
+                        f"could only establish {len(self.circuits)} of "
+                        f"{self.num_circuits} circuits at fidelity "
+                        f"{self.target_fidelity}")
+                cursor = 0
+                established_this_pass = 0
+            head, tail = order[cursor]
+            cursor += 1
+            if self._rng.random() < 0.5:
+                head, tail = tail, head
+            try:
+                circuit_id = self.net.establish_circuit(
+                    head, tail, self.target_fidelity, self.cutoff_policy)
+            except RouteError:
+                continue
+            route = self.net.route_of(circuit_id)
+            self.circuits.append(TrafficCircuit(
+                index=len(self.circuits), circuit_id=circuit_id,
+                head=head, tail=tail, hops=route.num_links, eer=route.eer))
+            established_this_pass += 1
+        return self.circuits
+
+    def _candidate_pairs(self) -> list[tuple[str, str]]:
+        graph = self.net.graph
+        nodes = sorted(graph.nodes)
+        # Bound each BFS at max_hops: nodes beyond the cutoff are simply
+        # absent from the inner maps (and were never candidates anyway).
+        lengths = dict(nx.all_pairs_shortest_path_length(
+            graph, cutoff=self.max_hops))
+        return [(a, b)
+                for i, a in enumerate(nodes) for b in nodes[i + 1:]
+                if self.min_hops <= lengths[a].get(b, self.max_hops + 1)
+                <= self.max_hops]
+
+    # ------------------------------------------------------------------
+    # Workload execution
+    # ------------------------------------------------------------------
+
+    def run(self, horizon_s: float = 5.0,
+            drain_s: Optional[float] = None) -> TrafficReport:
+        """Run the workload for ``horizon_s`` simulated seconds.
+
+        ``drain_s`` bounds the post-horizon grace period for in-flight
+        sessions (default: one more horizon).  Returns the telemetry
+        report; circuits are torn down before it is built.  An engine is
+        one-shot — build a fresh one (on a fresh network) per run.
+        """
+        if self._ran:
+            raise RuntimeError(
+                "this engine already ran (its circuits are torn down); "
+                "build a fresh TrafficEngine on a fresh network")
+        self._ran = True
+        self.install()
+        sim = self.net.sim
+        start_ns = sim.now
+        horizon_ns = horizon_s * S
+        schedule = poisson_schedule(
+            len(self.circuits), horizon_ns,
+            [self._mean_interarrival_ns(circuit) for circuit in self.circuits],
+            classes=self.classes, seed=self.seed,
+            max_sessions=self.max_sessions)
+        for spec in schedule:
+            sim.schedule_at(start_ns + spec.arrival_ns, self._submit, spec)
+        self.net.run(until_s=(start_ns + horizon_ns) / S)
+        drain = horizon_s if drain_s is None else drain_s
+        outstanding = [record.handle for record in self.records
+                       if record.handle.status in (RequestStatus.ACTIVE,
+                                                   RequestStatus.QUEUED)]
+        if drain > 0 and outstanding:
+            self.net.run_until_complete(outstanding, timeout_s=drain)
+        elapsed_ns = sim.now - start_ns
+        for circuit in self.circuits:
+            self.net.teardown_circuit(circuit.circuit_id)
+        # Let the TEAR messages propagate so every node along every path
+        # drops its circuit state (the grace is excluded from telemetry).
+        self.net.run(until_s=(sim.now + 0.01 * S) / S)
+        return build_report(self.net, self.circuits, self.records,
+                            horizon_ns=horizon_ns,
+                            elapsed_ns=elapsed_ns,
+                            classes=self.classes)
+
+    def _mean_interarrival_ns(self, circuit: TrafficCircuit) -> float:
+        """Inter-arrival time so offered pairs/s ≈ load × circuit EER."""
+        mean_pairs = (sum(cls.share * cls.mean_pairs for cls in self.classes)
+                      / sum(cls.share for cls in self.classes))
+        offered_rate = self.load * max(circuit.eer, 1e-9)
+        return mean_pairs / offered_rate * 1e9
+
+    def _submit(self, spec: SessionSpec) -> None:
+        circuit = self.circuits[spec.circuit_index]
+        cls = spec.priority
+        deadline_ns = None
+        if cls.eer_fraction > 0:
+            # Deadline such that minimum_eer == eer_fraction × circuit EER.
+            deadline_ns = spec.num_pairs / (cls.eer_fraction * circuit.eer) * 1e9
+        handle = self.net.submit(
+            circuit.circuit_id,
+            UserRequest(num_pairs=spec.num_pairs, deadline=deadline_ns),
+            record_fidelity=True)
+        if handle.status == RequestStatus.REJECTED:
+            decision = "rejected"
+        elif handle.status == RequestStatus.QUEUED:
+            decision = "queued"
+        else:
+            decision = "accepted"
+        self.records.append(SessionRecord(
+            spec=spec, circuit_id=circuit.circuit_id,
+            handle=handle, decision=decision))
+
+
+def run_traffic(net: Network, horizon_s: float = 5.0,
+                **engine_kwargs) -> TrafficReport:
+    """One-call convenience: build an engine, run it, return the report."""
+    return TrafficEngine(net, **engine_kwargs).run(horizon_s=horizon_s)

@@ -7,7 +7,8 @@ from repro.cli import build_parser, main
 
 def test_parser_subcommands():
     parser = build_parser()
-    for command in ("quickstart", "chain", "qkd", "near-term", "trace"):
+    for command in ("quickstart", "chain", "qkd", "near-term", "trace",
+                    "traffic"):
         args = parser.parse_args([command])
         assert callable(args.fn)
 
@@ -49,6 +50,45 @@ def test_formalism_flag_parsed():
     assert build_parser().parse_args(["chain"]).formalism == "dm"
     with pytest.raises(SystemExit):
         build_parser().parse_args(["--formalism", "nope", "chain"])
+
+
+def test_global_flags_accepted_after_subcommand():
+    # --formalism/--seed/--timeout work in either position; the
+    # subcommand's value wins when both are given.
+    args = build_parser().parse_args(["quickstart", "--formalism", "bell"])
+    assert args.formalism == "bell"
+    args = build_parser().parse_args(
+        ["--formalism", "bell", "quickstart", "--formalism", "dm"])
+    assert args.formalism == "dm"
+    args = build_parser().parse_args(["traffic", "--seed", "7"])
+    assert args.seed == 7
+    args = build_parser().parse_args(["chain", "--timeout", "5.0"])
+    assert args.timeout == 5.0
+    # Global values survive when the subcommand doesn't override them.
+    args = build_parser().parse_args(["--seed", "9", "chain"])
+    assert args.seed == 9
+
+
+def test_traffic_parser_defaults():
+    args = build_parser().parse_args(["traffic"])
+    assert args.topology == "grid"
+    assert args.size == 4
+    assert args.circuits == 8
+    assert args.load == 0.7
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["traffic", "--topology", "nope"])
+
+
+def test_traffic_runs(capsys):
+    code = main(["traffic", "--topology", "ring", "--size", "4",
+                 "--circuits", "2", "--horizon", "0.3", "--seed", "2",
+                 "--formalism", "bell"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "installed 2 circuits" in out
+    assert "admission and completion by priority class" in out
+    assert "per-link utilisation" in out
+    assert "pairs/s end-to-end" in out
 
 
 def test_quickstart_runs_on_bell_backend(capsys):
