@@ -132,6 +132,38 @@ def bench_traffic_round(formalism: str):
     return run
 
 
+def bench_route_compute(metric: str):
+    """Routing-computation cost per metric on a 4x4 grid.
+
+    Cycles through corner-to-corner and cross pairs so the budget cache
+    is exercised the way a traffic install exercises it, and clears the
+    installed-load state between rounds so ``utilisation`` scoring work
+    is measured against a loaded network.
+    """
+    from repro.traffic import build_topology
+
+    net = build_topology("grid", 4, seed=3, formalism="bell")
+    net.finalise()
+    controller = net.controller
+    pairs = [("g0x0", "g3x3"), ("g0x3", "g3x0"), ("g1x0", "g2x3"),
+             ("g0x1", "g3x2")]
+    state = {"i": 0}
+
+    def run():
+        head, tail = pairs[state["i"] % len(pairs)]
+        state["i"] += 1
+        route = controller.compute_route(head, tail, 0.7, "short",
+                                         metric=metric)
+        circuit_id = f"bench{state['i']}"
+        controller.register_install(circuit_id, route)
+        if state["i"] % len(pairs) == 0:
+            for j in range(state["i"] - len(pairs) + 1, state["i"] + 1):
+                controller.register_teardown(f"bench{j}")
+        return route
+
+    return run
+
+
 def bench_link_generation_round(formalism: str):
     from repro.network.builder import build_chain_network
 
@@ -163,6 +195,11 @@ BENCHMARKS = {
     "bsm_dm": (lambda: bench_bsm("dm"), 50),
     "bsm_bell": (lambda: bench_bsm("bell"), 500),
     "averaged_swap_map": (bench_averaged_swap_map, 20),
+    "route_compute_hops": (lambda: bench_route_compute("hops"), 4),
+    "route_compute_utilisation":
+        (lambda: bench_route_compute("utilisation"), 4),
+    "route_compute_fidelity_cost":
+        (lambda: bench_route_compute("fidelity-cost"), 4),
     "link_generation_round_dm": (lambda: bench_link_generation_round("dm"), 5),
     "link_generation_round_bell": (lambda: bench_link_generation_round("bell"), 5),
     "traffic_round_dm": (lambda: bench_traffic_round("dm"), 1),

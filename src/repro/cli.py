@@ -8,6 +8,7 @@ Usage::
     python -m repro near-term --pairs 10
     python -m repro trace --pairs 2
     python -m repro traffic --topology grid --size 4 --circuits 8 --load 0.7
+    python -m repro traffic --metric utilisation --fail-links 2 --seed 7
 
 ``--formalism bell`` runs any scenario on the fast Bell-diagonal state
 backend instead of the exact density-matrix engine — see DESIGN.md for when
@@ -99,16 +100,32 @@ def _cmd_traffic(args: argparse.Namespace) -> int:
 
     if args.topology not in TOPOLOGIES:  # pragma: no cover - argparse guards
         raise SystemExit(f"unknown topology {args.topology!r}")
+    if args.fail_links < 0:
+        raise SystemExit("--fail-links cannot be negative")
+    if args.fail_links == 0 and (args.mtbf is not None
+                                 or args.mttr is not None):
+        raise SystemExit("--mtbf/--mttr configure the outage model; "
+                         "add --fail-links N to select victim links")
+    if args.mtbf is not None and args.mtbf <= 0:
+        raise SystemExit("--mtbf must be positive")
+    if args.mttr is not None and args.mttr <= 0:
+        raise SystemExit("--mttr must be positive")
     net = build_topology(args.topology, args.size, seed=args.seed,
                          formalism=args.formalism)
     print(f"topology {args.topology} size {args.size}: "
           f"{len(net.nodes)} nodes, {len(net.links)} links "
           f"({net.formalism} formalism)")
     engine = TrafficEngine(net, circuits=args.circuits, load=args.load,
-                           target_fidelity=args.fidelity, seed=args.seed)
+                           target_fidelity=args.fidelity, seed=args.seed,
+                           metric=args.metric, fail_links=args.fail_links,
+                           mtbf_s=args.mtbf, mttr_s=args.mttr)
     engine.install()
-    print(f"installed {len(engine.circuits)} circuits; running "
-          f"{args.horizon:.1f} s of traffic at load {args.load:.2f}...")
+    print(f"installed {len(engine.circuits)} circuits "
+          f"(metric {args.metric}, max link share "
+          f"{engine.max_link_share:.2f}); running "
+          f"{args.horizon:.1f} s of traffic at load {args.load:.2f}"
+          + (f" with {args.fail_links} link failures" if args.fail_links
+             else "") + "...")
     # --timeout caps the post-horizon drain of in-flight sessions (the
     # horizon itself is --horizon, same as every other subcommand's
     # simulated budget).
@@ -211,6 +228,25 @@ def build_parser() -> argparse.ArgumentParser:
                          help="end-to-end target fidelity per circuit")
     traffic.add_argument("--horizon", type=float, default=2.0,
                          help="simulated seconds of workload")
+    from .control.routing import PATH_METRICS
+
+    traffic.add_argument("--metric", choices=list(PATH_METRICS),
+                         default="hops",
+                         help="path-selection metric: shortest path"
+                              " ('hops'), spread circuits by installed"
+                              " LPR share ('utilisation'), or maximise"
+                              " fidelity headroom ('fidelity-cost')")
+    traffic.add_argument("--fail-links", type=int, default=0,
+                         dest="fail_links",
+                         help="number of victim links taken down mid-run"
+                              " (0 disables failure injection)")
+    traffic.add_argument("--mtbf", type=float, default=None,
+                         help="mean time between failures per victim link"
+                              " (simulated s; omit for one scheduled"
+                              " outage per victim)")
+    traffic.add_argument("--mttr", type=float, default=None,
+                         help="time to repair a failed link (simulated s;"
+                              " default: a quarter of the horizon)")
     traffic.set_defaults(fn=_cmd_traffic)
     return parser
 

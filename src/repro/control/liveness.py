@@ -24,6 +24,8 @@ from ..network.node import QuantumNode
 
 @dataclass
 class Ping:
+    """Head-end keepalive probe, relayed hop-by-hop along the path."""
+
     circuit_id: str
     sequence: int
     path: tuple
@@ -32,6 +34,8 @@ class Ping:
 
 @dataclass
 class Pong:
+    """Tail-end keepalive answer, relayed back along the path."""
+
     circuit_id: str
     sequence: int
     path: tuple
@@ -65,11 +69,13 @@ class LivenessAgent(Entity):
         monitor.start()
 
     def unwatch(self, circuit_id: str) -> None:
+        """Stop monitoring a circuit (no-op if it was not watched)."""
         monitor = self._monitors.pop(circuit_id, None)
         if monitor is not None:
             monitor.stop()
 
     def is_watching(self, circuit_id: str) -> bool:
+        """Whether this head-end currently monitors the circuit."""
         return circuit_id in self._monitors
 
     # ------------------------------------------------------------------

@@ -1,9 +1,27 @@
-"""Central routing controller (Sec 5's "rudimentary algorithm").
+"""Central routing controller: metric-driven path selection + budgets.
 
-The controller computes, for a requested end-to-end fidelity:
+The paper's Sec 5 controller uses a "rudimentary algorithm" (plain
+shortest path over identical links) and explicitly leaves smarter path
+selection and fault handling open.  This module keeps that algorithm as
+the ``hops`` metric and generalises it: candidate paths are enumerated
+with Yen's k-shortest-paths, each candidate is checked for fidelity
+feasibility, and a pluggable **path metric** picks among the feasible
+candidates (see :data:`PATH_METRICS`):
 
-* the path (shortest path — all links/nodes are assumed identical, as in
-  the paper's evaluation),
+* ``hops`` — the paper's baseline: the first feasible shortest path;
+* ``utilisation`` — penalise links by their currently-installed LPR
+  share (tracked at circuit install/teardown), spreading circuits across
+  the topology instead of piling them onto the same shortest links;
+* ``fidelity-cost`` — prefer the candidate whose solved per-link
+  fidelity leaves the most headroom below the hardware ceiling.
+
+Links taken down by failure injection (:meth:`CentralController.
+set_link_state`) are excluded from candidate enumeration, which is what
+circuit recovery (:meth:`repro.network.builder.Network.recover_circuit`)
+relies on to re-route around an outage.
+
+For the selected path the controller computes, exactly as before:
+
 * the **per-link minimum fidelity**, found by binary search over the exact
   worst-case composition: every link pair is assumed to sit in memory for
   one full cutoff window before being swapped, and the L−1 noisy swaps are
@@ -22,6 +40,7 @@ The controller computes, for a requested end-to-end fidelity:
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 from typing import Optional, Union
 
@@ -43,6 +62,10 @@ CutoffPolicy = Union[str, float, None]
 LOSS_CUTOFF_FRACTION = 0.015
 #: Generation-probability quantile of the "short" cutoff (Sec 5.1).
 SHORT_CUTOFF_QUANTILE = 0.85
+#: The supported path-selection metrics (the CLI's ``--metric`` choices).
+PATH_METRICS = ("hops", "utilisation", "fidelity-cost")
+#: Candidate paths enumerated per route computation (Yen's algorithm).
+DEFAULT_K_PATHS = 8
 
 
 class RouteError(Exception):
@@ -61,9 +84,12 @@ class RouteComputation:
     eer: float
     estimated_fidelity: float
     target_fidelity: float
+    #: Path metric that selected this route (``hops`` for manual routes).
+    metric: str = "hops"
 
     @property
     def num_links(self) -> int:
+        """Number of physical links (= entanglement swaps + 1) on the path."""
         return len(self.link_names)
 
 
@@ -96,40 +122,225 @@ def _age_pair(dm: np.ndarray, elapsed: float, t1: float, t2: float) -> np.ndarra
 
 
 class CentralController:
-    """Centralised routing with the worst-case fidelity budget."""
+    """Centralised routing: k-path candidates, metrics, fidelity budgets."""
 
     def __init__(self, graph: nx.Graph, links: dict, memory_t1: float,
-                 memory_t2: float, ops: NoisyOpParams):
-        """``links`` maps ``frozenset({u, v})`` → :class:`~repro.linklayer.egp.Link`."""
+                 memory_t2: float, ops: NoisyOpParams, metric: str = "hops",
+                 k_paths: int = DEFAULT_K_PATHS):
+        """``links`` maps ``frozenset({u, v})`` → :class:`~repro.linklayer.egp.Link`.
+
+        ``metric`` is the default path metric (one of :data:`PATH_METRICS`,
+        overridable per :meth:`compute_route` call); ``k_paths`` bounds the
+        candidate enumeration.
+        """
+        if metric not in PATH_METRICS:
+            raise ValueError(f"unknown path metric {metric!r} "
+                             f"(have: {', '.join(PATH_METRICS)})")
+        if k_paths < 1:
+            raise ValueError("k_paths must be at least 1")
         self.graph = graph
         self.links = links
         self.memory_t1 = memory_t1
         self.memory_t2 = memory_t2
         self.ops = ops
+        self.metric = metric
+        self.k_paths = k_paths
+        #: Links currently taken down by failure injection.
+        self._down: set[frozenset] = set()
+        #: circuit_id → per-link share contributions of its installed route.
+        self._installed: dict[str, dict[frozenset, float]] = {}
+        #: link edge → total installed LPR share (the utilisation metric).
+        self.link_share: dict[frozenset, float] = {}
+        #: Budget solutions memoised per (num_links, target, policy) — the
+        #: links are identical, so every equal-length candidate (and every
+        #: later circuit with the same demand) reuses the same solve.
+        self._budget_cache: dict[tuple, tuple] = {}
+        self._ceiling_cache: dict[tuple, float] = {}
+        #: Number of completed route computations (telemetry).
+        self.route_computations = 0
 
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
 
     def compute_route(self, head: str, tail: str, target_fidelity: float,
-                      cutoff_policy: CutoffPolicy = "loss") -> RouteComputation:
-        """Compute path, link fidelities, cutoff, LPR and EER."""
+                      cutoff_policy: CutoffPolicy = "loss",
+                      metric: Optional[str] = None) -> RouteComputation:
+        """Select a path by the active metric and solve its budget.
+
+        Enumerates up to ``k_paths`` loop-free candidate paths (shortest
+        first, down links excluded), solves the fidelity budget per
+        candidate, and returns the feasible candidate the metric scores
+        best.  Raises :class:`RouteError` when no candidate is feasible.
+        """
+        metric = self.metric if metric is None else metric
+        if metric not in PATH_METRICS:
+            raise RouteError(f"unknown path metric {metric!r} "
+                             f"(have: {', '.join(PATH_METRICS)})")
         if not 0.5 <= target_fidelity < 1.0:
             raise RouteError(f"target fidelity {target_fidelity} must be in [0.5, 1)")
-        try:
-            path = nx.shortest_path(self.graph, head, tail)
-        except (nx.NetworkXNoPath, nx.NodeNotFound) as exc:
-            raise RouteError(f"no path from {head} to {tail}") from exc
-        link_objects = [self._link(path[i], path[i + 1]) for i in range(len(path) - 1)]
+        graph = self._working_graph()
+
+        def candidates():
+            # Lazy: the 'hops' metric stops after the first feasible
+            # candidate, so Yen's algorithm must not enumerate all
+            # k_paths up front.
+            try:
+                yield from itertools.islice(
+                    nx.shortest_simple_paths(graph, head, tail),
+                    self.k_paths)
+            except (nx.NetworkXNoPath, nx.NodeNotFound) as exc:
+                raise RouteError(
+                    f"no usable path from {head} to {tail}") from exc
+
+        best: Optional[RouteComputation] = None
+        best_score: Optional[tuple] = None
+        last_error: Optional[RouteError] = None
+        for index, path in enumerate(candidates()):
+            try:
+                route = self._route_for_path(path, target_fidelity,
+                                             cutoff_policy, metric)
+            except RouteError as exc:
+                # Candidates only get longer, and longer paths need a
+                # strictly higher link fidelity: once a length is
+                # infeasible every later candidate is too.
+                last_error = exc
+                break
+            score = self._score(path, route, metric, index)
+            if best_score is None or score < best_score:
+                best, best_score = route, score
+            if metric == "hops":
+                # The Sec 5 baseline: first feasible shortest candidate.
+                break
+        if best is None:
+            raise last_error or RouteError(
+                f"no feasible path from {head} to {tail} "
+                f"at fidelity {target_fidelity:.3f}")
+        self.route_computations += 1
+        return best
+
+    # ------------------------------------------------------------------
+    # Installed-load tracking (the utilisation metric's state)
+    # ------------------------------------------------------------------
+
+    def register_install(self, circuit_id: str, route: RouteComputation) -> None:
+        """Record an installed circuit's LPR share on each of its links.
+
+        The contribution per link is the fraction of the link's pair
+        generation time the circuit needs to sustain its admitted EER:
+        ``eer / max_lpr(link fidelity)`` — the paper's matched-pair
+        probability.  It is continuous in the route's length and cutoff,
+        so shares discriminate between placements that an integer
+        circuits-per-link count would tie.
+        """
+        shares: dict[frozenset, float] = {}
+        for i in range(len(route.path) - 1):
+            edge = frozenset((route.path[i], route.path[i + 1]))
+            capacity = self.links[edge].max_lpr(route.link_fidelity)
+            share = route.eer / capacity if capacity > 0 else 1.0
+            shares[edge] = share
+            self.link_share[edge] = self.link_share.get(edge, 0.0) + share
+        self._installed[circuit_id] = shares
+
+    def register_teardown(self, circuit_id: str) -> None:
+        """Return a torn-down circuit's LPR share to its links."""
+        shares = self._installed.pop(circuit_id, None)
+        if shares is None:
+            return
+        for edge, share in shares.items():
+            remaining = self.link_share.get(edge, 0.0) - share
+            if remaining <= 1e-12:
+                self.link_share.pop(edge, None)
+            else:
+                self.link_share[edge] = remaining
+
+    def max_link_share(self) -> float:
+        """Largest installed LPR share across all links (0 when idle)."""
+        return max(self.link_share.values(), default=0.0)
+
+    # ------------------------------------------------------------------
+    # Link liveness (failure injection)
+    # ------------------------------------------------------------------
+
+    def set_link_state(self, edge: frozenset, up: bool) -> None:
+        """Mark a link up or down; down links leave candidate enumeration."""
+        if up:
+            self._down.discard(frozenset(edge))
+        else:
+            self._down.add(frozenset(edge))
+
+    def link_is_up(self, edge: frozenset) -> bool:
+        """Whether the controller believes a link is usable."""
+        return frozenset(edge) not in self._down
+
+    def _working_graph(self) -> nx.Graph:
+        """The topology minus links currently marked down."""
+        if not self._down:
+            return self.graph
+        return nx.restricted_view(self.graph, [],
+                                  [tuple(edge) for edge in self._down])
+
+    # ------------------------------------------------------------------
+    # Candidate solving and scoring
+    # ------------------------------------------------------------------
+
+    def _route_for_path(self, path: list[str], target_fidelity: float,
+                        cutoff_policy: CutoffPolicy,
+                        metric: str) -> RouteComputation:
+        """Solve the fidelity budget along one concrete candidate path."""
+        link_objects = [self._link(path[i], path[i + 1])
+                        for i in range(len(path) - 1)]
         num_links = len(link_objects)
         model = link_objects[0].model  # identical links (Sec 5 assumption)
+        link_fidelity, cutoff, estimated = self._solve_budget(
+            model, num_links, target_fidelity, cutoff_policy)
+        max_lpr = min(link.max_lpr(link_fidelity) for link in link_objects)
+        eer = self._estimate_eer(model, link_fidelity, cutoff, max_lpr)
+        return RouteComputation(
+            path=list(path),
+            link_names=[link.name for link in link_objects],
+            link_fidelity=link_fidelity,
+            cutoff=cutoff,
+            max_lpr=max_lpr,
+            eer=eer,
+            estimated_fidelity=estimated,
+            target_fidelity=target_fidelity,
+            metric=metric,
+        )
 
+    def _solve_budget(self, model: SingleClickModel, num_links: int,
+                      target_fidelity: float, cutoff_policy: CutoffPolicy
+                      ) -> tuple[float, Optional[float], float]:
+        """Memoised (link fidelity, cutoff, worst-case fidelity) solve."""
+        # Key by physical parameters, not model identity: every Link owns
+        # its own SingleClickModel instance, but links with the same
+        # hardware and fibre share the budget solution.
+        key = (id(model.params), model.connection, num_links,
+               target_fidelity, cutoff_policy)
+        cached = self._budget_cache.get(key)
+        if cached is not None:
+            if isinstance(cached, RouteError):
+                raise cached
+            return cached
+        try:
+            solution = self._solve_budget_uncached(model, num_links,
+                                                   target_fidelity,
+                                                   cutoff_policy)
+        except RouteError as exc:
+            self._budget_cache[key] = exc
+            raise
+        self._budget_cache[key] = solution
+        return solution
+
+    def _solve_budget_uncached(self, model: SingleClickModel, num_links: int,
+                               target_fidelity: float,
+                               cutoff_policy: CutoffPolicy
+                               ) -> tuple[float, Optional[float], float]:
         ceiling = self._fidelity_ceiling(model)
         if ceiling < target_fidelity:
             raise RouteError(
                 f"links cannot produce fidelity {target_fidelity:.3f} "
                 f"(ceiling ≈ {ceiling:.3f})")
-
         # Fixed-point iteration between the cutoff window and the link
         # fidelity (each depends on the other through the decoherence
         # budget); converges in a couple of rounds.
@@ -139,21 +350,25 @@ class CentralController:
             link_fidelity = self._solve_link_fidelity(
                 model, num_links, target_fidelity, cutoff, ceiling)
             cutoff = self._cutoff_for(model, link_fidelity, cutoff_policy)
-
         estimated = self._worst_case_fidelity(model, link_fidelity, num_links,
                                               cutoff if cutoff else 0.0)
-        max_lpr = min(link.max_lpr(link_fidelity) for link in link_objects)
-        eer = self._estimate_eer(model, link_fidelity, cutoff, max_lpr)
-        return RouteComputation(
-            path=path,
-            link_names=[link.name for link in link_objects],
-            link_fidelity=link_fidelity,
-            cutoff=cutoff,
-            max_lpr=max_lpr,
-            eer=eer,
-            estimated_fidelity=estimated,
-            target_fidelity=target_fidelity,
-        )
+        return link_fidelity, cutoff, estimated
+
+    def _score(self, path: list[str], route: RouteComputation, metric: str,
+               index: int) -> tuple:
+        """Comparable score per candidate — lower wins, ties break on the
+        candidate's enumeration order (shortest first) for determinism."""
+        if metric == "utilisation":
+            shares = [self.link_share.get(frozenset((path[i], path[i + 1])),
+                                          0.0)
+                      for i in range(len(path) - 1)]
+            return (round(max(shares), 9), round(sum(shares), 9),
+                    len(path), index)
+        if metric == "fidelity-cost":
+            # Lower required link fidelity = more headroom below the
+            # hardware ceiling before the budget breaks.
+            return (round(route.link_fidelity, 9), len(path), index)
+        return (len(path), index)  # hops
 
     def build_entries(self, circuit_id: str, route: RouteComputation,
                       max_eer: Optional[float] = None) -> list[RoutingEntry]:
@@ -262,8 +477,13 @@ class CentralController:
         return max_lpr * p_match
 
     def _fidelity_ceiling(self, model: SingleClickModel) -> float:
-        grid = np.geomspace(1e-3, 0.5, 200)
-        return float(max(model.fidelity(alpha) for alpha in grid)) - 1e-6
+        key = (id(model.params), model.connection)
+        cached = self._ceiling_cache.get(key)
+        if cached is None:
+            grid = np.geomspace(1e-3, 0.5, 200)
+            cached = float(max(model.fidelity(alpha) for alpha in grid)) - 1e-6
+            self._ceiling_cache[key] = cached
+        return cached
 
     def _link(self, node_a: str, node_b: str):
         try:

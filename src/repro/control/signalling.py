@@ -25,11 +25,14 @@ _circuit_ids = itertools.count()
 
 
 def allocate_circuit_id(head: str, tail: str) -> str:
+    """A globally unique, human-readable virtual-circuit identifier."""
     return f"vc{next(_circuit_ids)}:{head}->{tail}"
 
 
 @dataclass
 class PathMessage:
+    """Forward installation message carrying every hop's routing entry."""
+
     circuit_id: str
     #: Remaining path (first element = this hop's next node).
     entries: list[RoutingEntry]
@@ -38,6 +41,8 @@ class PathMessage:
 
 @dataclass
 class ResvMessage:
+    """Tail-end confirmation travelling back towards the head-end."""
+
     circuit_id: str
     path: list[str] = field(default_factory=list)
     index: int = 0
@@ -45,6 +50,8 @@ class ResvMessage:
 
 @dataclass
 class TearMessage:
+    """Head-end-initiated circuit removal, relayed hop-by-hop."""
+
     circuit_id: str
     entries_path: list[str] = field(default_factory=list)
     index: int = 0

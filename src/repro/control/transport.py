@@ -40,9 +40,11 @@ class ReliableEnd(Entity):
         raw_end.connect(self._on_raw)
 
     def connect(self, receiver: Callable[[Any], None]) -> None:
+        """Register the callback invoked for every in-order delivery."""
         self._receiver = receiver
 
     def send(self, message: Any) -> None:
+        """Queue a message for reliable, in-order transmission."""
         self._send_queue.append(message)
         self._pump()
 

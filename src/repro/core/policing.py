@@ -18,6 +18,8 @@ from .requests import UserRequest
 
 
 class PolicerDecision:
+    """The three admission outcomes of Sec 4.1's policing and shaping."""
+
     ACCEPT = "accept"
     QUEUE = "queue"
     REJECT = "reject"
@@ -36,17 +38,23 @@ class Policer:
         self.accepted_count = 0
         self.queued_count = 0
         self.rejected_count = 0
+        #: Admitted requests later aborted (circuit teardown or failure) —
+        #: distinguishes RECOVERED/LOST accounting from plain rejections.
+        self.aborted_count = 0
 
     @property
     def allocated_eer(self) -> float:
+        """EER currently reserved by active requests (pairs/s)."""
         return sum(self._active.values())
 
     @property
     def available_eer(self) -> float:
+        """EER still available for new requests (pairs/s)."""
         return self.max_eer - self.allocated_eer
 
     @property
     def queued(self) -> int:
+        """Number of requests currently shaped (waiting for bandwidth)."""
         return len(self._queue)
 
     def admit(self, request: UserRequest) -> str:
@@ -88,6 +96,19 @@ class Policer:
                 self._queue.remove(request)
                 return True
         return False
+
+    def abort(self, request_id: str) -> None:
+        """Account for an admitted request killed by circuit teardown.
+
+        Frees the request's EER share (or queue slot) and bumps
+        ``aborted_count`` so the admission telemetry can tell aborted
+        sessions apart from policed (rejected) ones.
+        """
+        if request_id in self._active:
+            self._active.pop(request_id)
+        else:
+            self.drop_queued(request_id)
+        self.aborted_count += 1
 
     def _activate(self, request: UserRequest) -> None:
         self._active[request.request_id] = request.minimum_eer()

@@ -138,7 +138,7 @@ class QNPNode(Entity, EndNodeRules, IntermediateRules):
                 self._registered_links.add(link_name)
 
     def uninstall_circuit(self, circuit_id: str) -> None:
-        """Tear a circuit down, aborting its requests."""
+        """Tear a circuit down, aborting its requests and freeing pairs."""
         runtime = self._circuits.pop(circuit_id, None)
         if runtime is None:
             return
@@ -150,6 +150,22 @@ class QNPNode(Entity, EndNodeRules, IntermediateRules):
                 # will never free up on a circuit that no longer exists, and
                 # a handle stuck in QUEUED stalls run_until_complete().
                 record.handle.status = RequestStatus.ABORTED
+                if runtime.policer is not None:
+                    runtime.policer.abort(record.request_id)
+        # Release every pair still parked for this circuit so its memory
+        # slots return to the pool immediately — a management-plane
+        # teardown after a link failure must not wait for cutoff timers
+        # to drain slots that surviving circuits need.
+        for direction in (runtime.upstream, runtime.downstream):
+            while direction.available:
+                pair = direction.available.popleft()
+                pair.cancel_timer()
+                self._discard_local_pair(pair.correlator)
+        for correlator in list(runtime.in_transit):
+            # EARLY/MEASURE pairs already freed their slot at delivery;
+            # _discard_local_pair is a no-op for those.
+            self._discard_local_pair(correlator)
+        runtime.in_transit.clear()
         self._labels = {key: value for key, value in self._labels.items()
                         if value != circuit_id}
 

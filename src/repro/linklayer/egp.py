@@ -88,6 +88,8 @@ class Link(Entity):
         self._pools = None
         self._serialize = not (node_a.params.parallel_links
                                and node_b.params.parallel_links)
+        #: Failure injection: a down link stops generating (see :meth:`fail`).
+        self.up = True
         # Statistics (benchmarks read these).
         self.pairs_generated = 0
         self.attempts_made = 0
@@ -163,7 +165,27 @@ class Link(Entity):
             self._scheduler.remove(purpose_id)
 
     def has_request(self, purpose_id: str) -> bool:
+        """Whether a continuous generation request is installed."""
         return purpose_id in self._requests
+
+    # ------------------------------------------------------------------
+    # Failure injection
+    # ------------------------------------------------------------------
+
+    def fail(self) -> None:
+        """Take the physical link down (fibre cut / midpoint outage).
+
+        Generation stalls immediately: no new round starts and an
+        in-flight round completes without delivering.  Installed requests
+        survive, so :meth:`restore` resumes generation where it left off.
+        """
+        self.up = False
+
+    def restore(self) -> None:
+        """Bring a failed link back up and resume generation."""
+        if not self.up:
+            self.up = True
+            self._kick()
 
     def set_priority(self, purpose_id: str, node_name: str,
                      boosted: bool) -> None:
@@ -238,6 +260,8 @@ class Link(Entity):
         return pool_a.in_use < pool_a.capacity and pool_b.in_use < pool_b.capacity
 
     def _try_start_round(self) -> None:
+        if not self.up:
+            return
         eligible = self._eligible_purposes()
         if not eligible or not self._slots_free():
             return
@@ -306,11 +330,11 @@ class Link(Entity):
             self._scheduler.charge(request.purpose_id, busy)
         except KeyError:
             pass  # request ended while the round was in flight
-        if success and request.active:
+        if success and request.active and self.up:
             self._deliver_pair(request, slot_a, slot_b)
         else:
             eligible = self._eligible_purposes()
-            if (not arbiters and len(eligible) == 1
+            if (self.up and not arbiters and len(eligible) == 1
                     and eligible[0] == request.purpose_id):
                 # Fast continue: the slice failed and no other purpose could
                 # be scheduled (eligibility implies the request is live and

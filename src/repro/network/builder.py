@@ -87,6 +87,7 @@ class Network:
         self.nodes: dict[str, QuantumNode] = {}
         self.links: dict[frozenset, Link] = {}
         self.channels: list[ClassicalChannel] = []
+        self._channel_by_edge: dict[frozenset, ClassicalChannel] = {}
         self.qnps: dict[str, QNPNode] = {}
         self.signalling: dict[str, SignallingAgent] = {}
         self.liveness: dict[str, LivenessAgent] = {}
@@ -135,6 +136,7 @@ class Network:
         node_b.attach_channel(name_a, channel.ends[1])
         self.channels.append(channel)
         self.links[frozenset((name_a, name_b))] = link
+        self._channel_by_edge[frozenset((name_a, name_b))] = channel
         self._graph.add_edge(name_a, name_b)
         return link
 
@@ -159,17 +161,21 @@ class Network:
 
     def establish_circuit(self, head: str, tail: str, target_fidelity: float,
                           cutoff_policy="loss",
-                          max_eer: Optional[float] = None) -> str:
+                          max_eer: Optional[float] = None,
+                          metric: Optional[str] = None) -> str:
         """Route, signal and install a virtual circuit; returns its ID.
 
-        Drives the simulation until the RESV confirms installation (the
-        handshake takes a few propagation delays).
+        ``metric`` selects the path-selection metric for this circuit
+        (defaults to the controller's — see
+        :data:`repro.control.routing.PATH_METRICS`).  Drives the
+        simulation until the RESV confirms installation (the handshake
+        takes a few propagation delays).
         """
         if self.controller is None:
             self.finalise()
         route = self.controller.compute_route(head, tail, target_fidelity,
-                                              cutoff_policy)
-        return self._install(route, max_eer)
+                                              cutoff_policy, metric=metric)
+        return self._install(route, max_eer, cutoff_policy=cutoff_policy)
 
     def establish_circuit_manual(self, path: list[str], link_fidelity: float,
                                  cutoff: Optional[float],
@@ -190,12 +196,29 @@ class Network:
             target_fidelity=estimated_fidelity)
         return self._install(route, max_eer)
 
-    def _install(self, route: RouteComputation, max_eer: Optional[float]) -> str:
+    def _install_async(self, route: RouteComputation,
+                       max_eer: Optional[float] = None,
+                       cutoff_policy=None,
+                       on_ready=None) -> str:
+        """Start the PATH/RESV handshake for a route without driving the
+        simulation; ``on_ready`` fires when the RESV reaches the head."""
         circuit_id = allocate_circuit_id(route.path[0], route.path[-1])
         entries = self.controller.build_entries(circuit_id, route, max_eer)
+        self.signalling[route.path[0]].establish(entries, on_ready=on_ready)
+        self._circuit_meta[circuit_id] = {
+            "route": route, "max_eer": max_eer,
+            "cutoff_policy": cutoff_policy,
+        }
+        self.controller.register_install(circuit_id, route)
+        return circuit_id
+
+    def _install(self, route: RouteComputation, max_eer: Optional[float],
+                 cutoff_policy=None) -> str:
+        """Install a route and drive the simulation until it is ready."""
         ready = []
-        self.signalling[route.path[0]].establish(entries,
-                                                 on_ready=ready.append)
+        circuit_id = self._install_async(route, max_eer,
+                                         cutoff_policy=cutoff_policy,
+                                         on_ready=ready.append)
         # The handshake needs a few propagation delays of simulated time.
         # Budget in *time*, not event count: when other circuits are already
         # carrying traffic, thousands of unrelated link events fire per
@@ -203,38 +226,117 @@ class Network:
         deadline = self.sim.now + 60.0 * S
         while not ready:
             if self.sim.now >= deadline or self.sim.pending_events() == 0:
+                # Undo the eager registration so a failed install leaves
+                # no phantom load behind for the utilisation metric.
+                self._circuit_meta.pop(circuit_id, None)
+                self.controller.register_teardown(circuit_id)
                 raise RuntimeError(f"circuit {circuit_id} installation stalled")
             self._step(limit=deadline)
-        self._circuit_meta[circuit_id] = {"route": route}
         return circuit_id
 
     def teardown_circuit(self, circuit_id: str) -> None:
+        """Remove a circuit: unwatch, free its routed LPR share, TEAR."""
         meta = self._circuit_meta.pop(circuit_id, None)
         if meta is None:
             return
         path = meta["route"].path
         self.liveness[path[0]].unwatch(circuit_id)
+        if self.controller is not None:
+            self.controller.register_teardown(circuit_id)
         self.signalling[path[0]].teardown(circuit_id, path)
 
     def watch_circuit(self, circuit_id: str, interval_ms: float = 50.0,
-                      miss_limit: int = 3) -> None:
+                      miss_limit: int = 3, on_failure=None) -> None:
         """Monitor a circuit's classical connectivity (Sec 4.1).
 
-        When the keepalive fails, the circuit is torn down from the
-        head-end and its active requests abort — applications observe
-        :attr:`RequestStatus.ABORTED` on their handles.
+        When the keepalive fails, ``on_failure(circuit_id)`` runs; the
+        default tears the circuit down from the head-end so its active
+        requests abort — applications observe
+        :attr:`RequestStatus.ABORTED` on their handles.  Recovery-aware
+        callers (the traffic engine) pass their own handler, typically
+        ending in :meth:`recover_circuit`.
         """
         from ..netsim.units import MS
 
         route = self.route_of(circuit_id)
         head = route.path[0]
+        if on_failure is None:
+            on_failure = self.teardown_circuit
         self.liveness[head].watch(
             circuit_id, route.path, interval=interval_ms * MS,
             miss_limit=miss_limit,
-            on_failure=lambda cid: self.teardown_circuit(cid))
+            on_failure=on_failure)
 
     def route_of(self, circuit_id: str) -> RouteComputation:
+        """The :class:`RouteComputation` a circuit was installed with."""
         return self._circuit_meta[circuit_id]["route"]
+
+    # ------------------------------------------------------------------
+    # Failure injection and recovery
+    # ------------------------------------------------------------------
+
+    def fail_link(self, name_a: str, name_b: str) -> None:
+        """Take a link down: quantum generation stalls, classical traffic
+        over that hop is dropped, and the controller stops routing new
+        circuits across it.  Liveness keepalives on circuits crossing the
+        hop start missing and eventually declare those circuits dead."""
+        edge = frozenset((name_a, name_b))
+        self.links[edge].fail()
+        self._channel_by_edge[edge].cut()
+        if self.controller is not None:
+            self.controller.set_link_state(edge, False)
+
+    def restore_link(self, name_a: str, name_b: str) -> None:
+        """Repair a failed link (generation resumes, routing re-enabled).
+
+        Circuits that were re-routed away do not revert — path
+        re-optimisation on repair is a policy decision left to operators.
+        """
+        edge = frozenset((name_a, name_b))
+        self.links[edge].restore()
+        self._channel_by_edge[edge].restore()
+        if self.controller is not None:
+            self.controller.set_link_state(edge, True)
+
+    def link_is_up(self, name_a: str, name_b: str) -> bool:
+        """Whether the physical link between two nodes is up."""
+        return self.links[frozenset((name_a, name_b))].up
+
+    def recover_circuit(self, circuit_id: str, on_ready=None) -> Optional[str]:
+        """Re-establish a failed circuit over a surviving path.
+
+        Management-plane teardown first: the old path may include the
+        dead link, so a hop-by-hop TEAR cannot be trusted to propagate —
+        instead the controller (which has out-of-band connectivity to
+        every node, as in Sec 5) removes the circuit state directly at
+        each node, aborting its in-flight requests.  Then a fresh route
+        avoiding down links is computed with the circuit's original
+        fidelity target, cutoff policy and metric, and re-signalled
+        asynchronously; ``on_ready(new_circuit_id)`` fires when the new
+        circuit's RESV returns.
+
+        Returns the new circuit ID, or ``None`` when no feasible
+        surviving path exists (the circuit is lost).
+        """
+        from ..control.routing import RouteError
+
+        meta = self._circuit_meta.pop(circuit_id, None)
+        if meta is None:
+            return None
+        route = meta["route"]
+        self.liveness[route.path[0]].unwatch(circuit_id)
+        self.controller.register_teardown(circuit_id)
+        for node in route.path:
+            self.qnps[node].uninstall_circuit(circuit_id)
+        try:
+            new_route = self.controller.compute_route(
+                route.path[0], route.path[-1], route.target_fidelity,
+                meta.get("cutoff_policy") or "loss", metric=route.metric)
+        except RouteError:
+            return None
+        return self._install_async(new_route, meta.get("max_eer"),
+                                   cutoff_policy=meta.get("cutoff_policy"),
+                                   on_ready=on_ready)
 
     # ------------------------------------------------------------------
     # Requests

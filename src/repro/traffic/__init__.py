@@ -3,8 +3,9 @@
 This package turns the single-circuit reproduction into a traffic
 testbed: seeded topology families (:mod:`~repro.traffic.topologies`),
 stochastic multi-class session workloads (:mod:`~repro.traffic.arrivals`,
-:mod:`~repro.traffic.workload`) and structured telemetry
-(:mod:`~repro.traffic.metrics`).  Entry points::
+:mod:`~repro.traffic.workload`), deterministic link-failure injection
+with circuit recovery (:mod:`~repro.traffic.faults`) and structured
+telemetry (:mod:`~repro.traffic.metrics`).  Entry points::
 
     from repro.traffic import build_topology, TrafficEngine
 
@@ -22,13 +23,16 @@ from .arrivals import (
     SessionSpec,
     poisson_schedule,
 )
-from .metrics import TrafficReport, build_report
+from .faults import FaultEvent, fault_schedule
+from .metrics import RecoveryStats, TrafficReport, build_report
 from .topologies import TOPOLOGIES, build_topology, topology_graph
 from .workload import SessionRecord, TrafficCircuit, TrafficEngine, run_traffic
 
 __all__ = [
     "DEFAULT_CLASSES",
+    "FaultEvent",
     "PriorityClass",
+    "RecoveryStats",
     "SessionSpec",
     "SessionRecord",
     "TOPOLOGIES",
@@ -37,6 +41,7 @@ __all__ = [
     "TrafficReport",
     "build_report",
     "build_topology",
+    "fault_schedule",
     "poisson_schedule",
     "run_traffic",
     "topology_graph",

@@ -1,0 +1,97 @@
+"""Link-failure injection for traffic workloads.
+
+Outages are materialised up-front as a deterministic schedule of
+``down``/``up`` events over the links a workload actually uses, from a
+dedicated RNG stream (disjoint from endpoint sampling and session
+arrivals, see :func:`repro.traffic.arrivals.stream_seed`), so a faulted
+run stays byte-for-byte reproducible in its seed.
+
+Two failure models:
+
+* **scheduled** (``mtbf_s=None``) — each victim link fails exactly once,
+  staggered across the first half of the horizon so recovery has time to
+  play out, and is repaired ``mttr_s`` later;
+* **Poisson** (``mtbf_s`` set) — each victim link alternates between up
+  periods drawn from an exponential with mean ``mtbf_s`` and fixed
+  ``mttr_s`` repair times, the classic availability model.
+
+The :class:`~repro.traffic.workload.TrafficEngine` arms the schedule on
+the simulator and reacts to the resulting liveness failures with
+:meth:`repro.network.builder.Network.recover_circuit`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..netsim.units import S
+from .arrivals import stream_seed
+
+#: Stream index of the fault RNG (endpoint sampling uses -1, arrivals >= 0).
+FAULT_STREAM = -2
+
+#: Fraction of the horizon over which scheduled outages are staggered.
+_FIRST_OUTAGE_AT = 0.25
+_LAST_OUTAGE_AT = 0.65
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One link state change: the link named by ``edge`` goes down or up."""
+
+    at_ns: float
+    kind: str  # "down" | "up"
+    edge: tuple[str, str]
+
+
+def fault_schedule(edges: Sequence[tuple[str, str]], horizon_ns: float, *,
+                   fail_links: int, mtbf_s: Optional[float] = None,
+                   mttr_s: Optional[float] = None,
+                   seed: int = 0) -> list[FaultEvent]:
+    """Materialise a deterministic outage schedule.
+
+    ``edges`` is the candidate victim pool (typically the links carrying
+    installed circuits); ``fail_links`` victims are drawn from it with
+    the seeded fault stream.  ``mttr_s`` defaults to a quarter of the
+    horizon.  Returns the merged schedule sorted by time.
+    """
+    if fail_links < 0:
+        raise ValueError("fail_links cannot be negative")
+    if mtbf_s is not None and mtbf_s <= 0:
+        raise ValueError("mtbf must be positive")
+    if mttr_s is not None and mttr_s <= 0:
+        raise ValueError("mttr must be positive")
+    if fail_links == 0 or not edges or horizon_ns <= 0:
+        return []
+    rng = random.Random(stream_seed(seed, FAULT_STREAM))
+    pool = sorted(tuple(sorted(edge)) for edge in set(map(frozenset, edges)))
+    victims = rng.sample(pool, min(fail_links, len(pool)))
+    mttr_ns = (0.25 * horizon_ns if mttr_s is None else mttr_s * S)
+    events: list[FaultEvent] = []
+    for index, edge in enumerate(victims):
+        if mtbf_s is None:
+            fraction = _FIRST_OUTAGE_AT
+            if len(victims) > 1:
+                fraction += ((_LAST_OUTAGE_AT - _FIRST_OUTAGE_AT)
+                             * index / (len(victims) - 1))
+            _append_outage(events, edge, horizon_ns * fraction, mttr_ns,
+                           horizon_ns)
+        else:
+            t = rng.expovariate(1.0 / (mtbf_s * S))
+            while t < horizon_ns:
+                _append_outage(events, edge, t, mttr_ns, horizon_ns)
+                t += mttr_ns + rng.expovariate(1.0 / (mtbf_s * S))
+    events.sort(key=lambda event: (event.at_ns, event.kind, event.edge))
+    return events
+
+
+def _append_outage(events: list[FaultEvent], edge: tuple[str, str],
+                   down_ns: float, mttr_ns: float,
+                   horizon_ns: float) -> None:
+    """Append one down event and, if it lands inside the run, its repair."""
+    events.append(FaultEvent(at_ns=down_ns, kind="down", edge=edge))
+    up_ns = down_ns + mttr_ns
+    if up_ns < horizon_ns:
+        events.append(FaultEvent(at_ns=up_ns, kind="up", edge=edge))

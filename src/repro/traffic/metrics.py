@@ -10,6 +10,9 @@ Collected per run:
   attempts made;
 * **device arbiters** — grants and queueing delay (non-zero only on
   serialised near-term hardware);
+* **routing & recovery** — the path metric, installed link-share peak,
+  link-down events and the RECOVERED/LOST circuit and session tallies
+  (see :mod:`repro.traffic.faults`);
 * **totals** — end-to-end throughput and the fidelity distribution.
 
 Rendering goes through :func:`repro.analysis.experiments.render_table`
@@ -42,6 +45,10 @@ class ClassTally:
     completed: int = 0
     aborted: int = 0
     unfinished: int = 0
+    #: Sessions interrupted by a link failure and re-established.
+    recovered: int = 0
+    #: Sessions whose circuit could not be re-established.
+    lost: int = 0
     pairs_confirmed: int = 0
     fidelities: list = field(default_factory=list)
 
@@ -73,10 +80,39 @@ class LinkStats:
 
 @dataclass
 class ArbiterStats:
+    """Device-arbiter queueing at one node (serialised hardware only)."""
+
     node: str
     grants: int
     mean_wait_ns: float
     max_queue_length: int
+
+
+@dataclass
+class RecoveryStats:
+    """Routing and failure-recovery telemetry for one traffic run."""
+
+    #: Path metric the run's circuits were routed with.
+    metric: str
+    #: Distinct victim links in the executed fault schedule.
+    fail_links: int
+    #: Link-down events actually executed.
+    link_down_events: int
+    #: Circuit re-establishments that completed (RESV returned).
+    circuits_recovered: int
+    #: Circuits declared dead with no surviving path.
+    circuits_lost: int
+    #: Sessions interrupted by a failure and re-submitted.
+    sessions_recovered: int
+    #: Sessions aborted (or arriving) on a lost circuit.
+    sessions_lost: int
+    #: Mean simulated failure-detection → new-RESV latency (ms).
+    mean_recovery_ms: Optional[float]
+    #: Largest per-link installed LPR share right after installation —
+    #: the spread the ``utilisation`` metric minimises.
+    max_link_share: float
+    #: Route computations the controller performed (install + recovery).
+    route_computations: int
 
 
 @dataclass
@@ -90,29 +126,46 @@ class TrafficReport:
     circuits: list[CircuitStats]
     links: list[LinkStats]
     arbiters: list[ArbiterStats]
+    #: Routing/recovery telemetry (None for reports built without it).
+    recovery: Optional[RecoveryStats] = None
 
     # -- scalar telemetry ------------------------------------------------
 
     @property
     def elapsed_s(self) -> float:
+        """Simulated seconds the workload spanned (horizon + drain)."""
         return self.elapsed_ns / S
 
     @property
     def total_sessions(self) -> int:
+        """All sessions submitted across priority classes."""
         return sum(tally.submitted for tally in self.classes.values())
 
     @property
     def total_confirmed_pairs(self) -> int:
+        """End-to-end pairs confirmed across all sessions."""
         return sum(tally.pairs_confirmed for tally in self.classes.values())
 
     @property
     def throughput_pairs_per_s(self) -> float:
+        """Confirmed pairs per simulated second."""
         if self.elapsed_ns <= 0:
             return 0.0
         return self.total_confirmed_pairs / self.elapsed_s
 
     @property
+    def sessions_recovered(self) -> int:
+        """Sessions re-established after a link failure."""
+        return sum(tally.recovered for tally in self.classes.values())
+
+    @property
+    def sessions_lost(self) -> int:
+        """Sessions lost to an unrecoverable circuit."""
+        return sum(tally.lost for tally in self.classes.values())
+
+    @property
     def fidelities(self) -> list:
+        """All measured pair fidelities, across classes."""
         samples: list = []
         for tally in self.classes.values():
             samples.extend(tally.fidelities)
@@ -120,16 +173,20 @@ class TrafficReport:
 
     @property
     def mean_fidelity(self) -> Optional[float]:
+        """Mean measured fidelity (None when nothing was measured)."""
         samples = self.fidelities
         return mean(samples) if samples else None
 
     # -- rendering -------------------------------------------------------
 
     def render(self) -> str:
+        """Render every table of the report as one text block."""
         blocks = [self._render_totals(), self._render_admission(),
                   self._render_circuits(), self._render_links()]
         if any(stats.grants for stats in self.arbiters):
             blocks.append(self._render_arbiters())
+        if self.recovery is not None:
+            blocks.append(self._render_recovery())
         return "\n\n".join(blocks)
 
     def _render_totals(self) -> str:
@@ -154,7 +211,8 @@ class TrafficReport:
         for name, tally in self.classes.items():
             rows.append([name, tally.submitted, tally.accepted, tally.queued,
                          tally.rejected, tally.completed, tally.aborted,
-                         tally.unfinished, tally.pairs_confirmed])
+                         tally.unfinished, tally.recovered, tally.lost,
+                         tally.pairs_confirmed])
         rows.append(["total",
                      sum(t.submitted for t in self.classes.values()),
                      sum(t.accepted for t in self.classes.values()),
@@ -163,10 +221,13 @@ class TrafficReport:
                      sum(t.completed for t in self.classes.values()),
                      sum(t.aborted for t in self.classes.values()),
                      sum(t.unfinished for t in self.classes.values()),
+                     sum(t.recovered for t in self.classes.values()),
+                     sum(t.lost for t in self.classes.values()),
                      sum(t.pairs_confirmed for t in self.classes.values())])
         return render_table(
             ["class", "submitted", "accepted", "queued", "rejected",
-             "completed", "aborted", "unfinished", "pairs"],
+             "completed", "aborted", "unfinished", "recovered", "lost",
+             "pairs"],
             rows, title="admission and completion by priority class")
 
     def _render_circuits(self) -> str:
@@ -200,21 +261,63 @@ class TrafficReport:
             ["node", "grants", "mean wait (us)", "max queue"],
             rows, title="device arbiter queueing")
 
+    def _render_recovery(self) -> str:
+        stats = self.recovery
+        lines = [
+            f"routing and recovery — metric {stats.metric}, "
+            f"{stats.route_computations} route computations",
+            f"  max installed link share: {stats.max_link_share:.2f}",
+        ]
+        if stats.fail_links or stats.link_down_events:
+            lines.append(
+                f"  link failures: {stats.link_down_events} down events "
+                f"over {stats.fail_links} victim links")
+            lines.append(
+                f"  circuits: {stats.circuits_recovered} RECOVERED, "
+                f"{stats.circuits_lost} LOST")
+            lines.append(
+                f"  sessions: {stats.sessions_recovered} RECOVERED, "
+                f"{stats.sessions_lost} LOST")
+            if stats.mean_recovery_ms is not None:
+                if stats.mean_recovery_ms >= 1.0:
+                    rendered = f"{stats.mean_recovery_ms:.1f} ms"
+                else:
+                    rendered = f"{stats.mean_recovery_ms * 1e3:.1f} us"
+                lines.append(
+                    f"  mean re-route time: {rendered} "
+                    f"(failure detection -> new RESV)")
+        return "\n".join(lines)
+
+
+def record_handles(record: "SessionRecord") -> list:
+    """All incarnations of a session's request handle, oldest first.
+
+    Recovery replaces a session's handle when it is re-submitted on the
+    replacement circuit; delivery accounting must span every
+    incarnation.
+    """
+    return list(getattr(record, "prior_handles", ())) + [record.handle]
+
 
 def build_report(net: "Network", circuits: Sequence["TrafficCircuit"],
                  records: Sequence["SessionRecord"], horizon_ns: float,
                  elapsed_ns: Optional[float] = None,
-                 classes: Sequence = ()) -> TrafficReport:
+                 classes: Sequence = (),
+                 recovery: Optional[RecoveryStats] = None) -> TrafficReport:
     """Aggregate a finished run into a :class:`TrafficReport`.
 
     ``elapsed_ns`` is the wall of simulated time the workload actually
     spanned (horizon + drain); defaults to the simulator clock.
+    ``recovery`` attaches the routing/failure telemetry the traffic
+    engine collected.
     """
     if elapsed_ns is None:
         elapsed_ns = net.sim.now
     tallies = {cls.name: ClassTally() for cls in classes}
-    per_circuit_records: dict[str, list] = {
-        circuit.circuit_id: [] for circuit in circuits}
+    # Group sessions by circuit *index*: recovery renames a circuit's ID
+    # mid-run, but the index is stable across incarnations.
+    per_circuit_records: dict[int, list] = {
+        circuit.index: [] for circuit in circuits}
 
     for record in records:
         tally = tallies.setdefault(record.spec.priority.name, ClassTally())
@@ -223,8 +326,15 @@ def build_report(net: "Network", circuits: Sequence["TrafficCircuit"],
             tally.accepted += 1
         elif record.decision == "queued":
             tally.queued += 1
-        else:
+        elif record.decision == "rejected":
             tally.rejected += 1
+        # decision "lost": arrival on an unrecoverable circuit — counted
+        # below through the outcome, not as an admission decision.
+        outcome = getattr(record, "outcome", "")
+        if outcome == "recovered":
+            tally.recovered += 1
+        elif outcome == "lost":
+            tally.lost += 1
         handle = record.handle
         status = handle.status
         if status == RequestStatus.COMPLETED:
@@ -233,19 +343,22 @@ def build_report(net: "Network", circuits: Sequence["TrafficCircuit"],
             tally.aborted += 1
         elif status != RequestStatus.REJECTED:
             tally.unfinished += 1
-        confirmed = sum(1 for delivery in handle.delivered
-                        if delivery.status == DeliveryStatus.CONFIRMED)
-        tally.pairs_confirmed += confirmed
-        matched = getattr(handle, "matched_pairs", [])
-        tally.fidelities.extend(pair.fidelity for pair in matched
-                                if pair.fidelity is not None)
-        per_circuit_records[record.circuit_id].append(record)
+        for incarnation in record_handles(record):
+            confirmed = sum(1 for delivery in incarnation.delivered
+                            if delivery.status == DeliveryStatus.CONFIRMED)
+            tally.pairs_confirmed += confirmed
+            matched = getattr(incarnation, "matched_pairs", [])
+            tally.fidelities.extend(pair.fidelity for pair in matched
+                                    if pair.fidelity is not None)
+        per_circuit_records.setdefault(record.spec.circuit_index,
+                                       []).append(record)
 
     circuit_stats = []
     for circuit in circuits:
-        circuit_records = per_circuit_records[circuit.circuit_id]
+        circuit_records = per_circuit_records[circuit.index]
         fidelities = [pair.fidelity for record in circuit_records
-                      for pair in getattr(record.handle, "matched_pairs", [])
+                      for handle in record_handles(record)
+                      for pair in getattr(handle, "matched_pairs", [])
                       if pair.fidelity is not None]
         shaping = [record.handle.t_started - record.handle.t_submitted
                    for record in circuit_records
@@ -261,7 +374,8 @@ def build_report(net: "Network", circuits: Sequence["TrafficCircuit"],
                           if record.handle.status == RequestStatus.COMPLETED),
             pairs_confirmed=sum(
                 1 for record in circuit_records
-                for delivery in record.handle.delivered
+                for handle in record_handles(record)
+                for delivery in handle.delivered
                 if delivery.status == DeliveryStatus.CONFIRMED),
             mean_fidelity=mean(fidelities) if fidelities else None,
             mean_shaping_delay=mean(shaping) if shaping else 0.0,
@@ -290,4 +404,5 @@ def build_report(net: "Network", circuits: Sequence["TrafficCircuit"],
         circuits=circuit_stats,
         links=link_stats,
         arbiters=arbiter_stats,
+        recovery=recovery,
     )

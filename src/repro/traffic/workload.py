@@ -14,26 +14,39 @@ the way a population of applications would:
    fires — the head-end policer's ACCEPT / QUEUE / REJECT decision is
    recorded and respected (queued sessions simply wait their turn;
    rejected ones are never retried);
-3. **drain + teardown** — after the horizon, give in-flight sessions a
+3. **faults + recovery** (optional) — a deterministic outage schedule
+   (:mod:`repro.traffic.faults`) takes links down mid-run; the circuits'
+   liveness keepalives detect the loss of connectivity and the engine
+   re-establishes each dead circuit over a surviving path
+   (:meth:`~repro.network.builder.Network.recover_circuit`),
+   re-submitting its interrupted sessions (``RECOVERED``) or — when no
+   path survives — accounting them as ``LOST``;
+4. **drain + teardown** — after the horizon, give in-flight sessions a
    bounded grace period, then tear every circuit down (aborting whatever
    is still queued) and aggregate telemetry into a
    :class:`~repro.traffic.metrics.TrafficReport`.
 
 Everything is deterministic in ``(network seed, engine seed)``: endpoint
-sampling, the session schedule and the simulation itself each draw from
-their own seeded stream.
+sampling, the session schedule, the fault schedule and the simulation
+itself each draw from their own seeded stream.
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 import networkx as nx
 
-from ..control.routing import RouteError
-from ..core.requests import RequestHandle, RequestStatus, UserRequest
+from ..analysis.stats import mean
+from ..control.routing import PATH_METRICS, RouteError
+from ..core.requests import (
+    DeliveryStatus,
+    RequestHandle,
+    RequestStatus,
+    UserRequest,
+)
 from ..netsim.units import S
 from ..network.builder import Network
 from .arrivals import (
@@ -43,12 +56,18 @@ from .arrivals import (
     poisson_schedule,
     stream_seed,
 )
-from .metrics import TrafficReport, build_report
+from .faults import FaultEvent, fault_schedule
+from .metrics import RecoveryStats, TrafficReport, build_report, record_handles
 
 
 @dataclass
 class TrafficCircuit:
-    """One installed circuit of the workload."""
+    """One installed circuit of the workload.
+
+    ``circuit_id``, ``path``, ``hops`` and ``eer`` track the *current*
+    incarnation: recovery re-signals a failed circuit over a new path and
+    updates them in place.
+    """
 
     index: int
     circuit_id: str
@@ -57,6 +76,12 @@ class TrafficCircuit:
     hops: int
     #: Admitted end-to-end rate (the policer's budget), pairs/s.
     eer: float
+    #: Node path of the current incarnation.
+    path: list[str] = field(default_factory=list)
+    #: Times this circuit was re-established after a failure.
+    recoveries: int = 0
+    #: True once no surviving path exists; arrivals are counted LOST.
+    lost: bool = False
 
 
 @dataclass
@@ -66,8 +91,13 @@ class SessionRecord:
     spec: SessionSpec
     circuit_id: str
     handle: RequestHandle
-    #: Initial policer decision: "accepted", "queued" or "rejected".
+    #: Initial policer decision: "accepted", "queued" or "rejected"
+    #: ("lost" for arrivals on a circuit that is already gone).
     decision: str
+    #: Failure outcome: "" (untouched), "recovered" or "lost".
+    outcome: str = ""
+    #: Handles of earlier incarnations (before circuit recovery).
+    prior_handles: list = field(default_factory=list)
 
 
 class TrafficEngine:
@@ -79,11 +109,33 @@ class TrafficEngine:
                  seed: Optional[int] = None, min_hops: int = 1,
                  max_hops: int = 4,
                  endpoint_pairs: Optional[Sequence[tuple[str, str]]] = None,
-                 max_sessions: int = 2000):
+                 max_sessions: int = 2000, metric: str = "hops",
+                 fail_links: int = 0, mtbf_s: Optional[float] = None,
+                 mttr_s: Optional[float] = None,
+                 watch_interval_ms: float = 20.0, miss_limit: int = 3):
+        """``metric`` picks the routing metric for every circuit;
+        ``fail_links``/``mtbf_s``/``mttr_s`` configure the outage model of
+        :func:`repro.traffic.faults.fault_schedule`;
+        ``watch_interval_ms``/``miss_limit`` tune how fast the liveness
+        keepalive declares a circuit dead."""
         if circuits < 1:
             raise ValueError("need at least one circuit")
         if load <= 0:
             raise ValueError("load must be positive")
+        if metric not in PATH_METRICS:
+            raise ValueError(f"unknown path metric {metric!r} "
+                             f"(have: {', '.join(PATH_METRICS)})")
+        if fail_links < 0:
+            raise ValueError("fail_links cannot be negative")
+        if fail_links == 0 and (mtbf_s is not None or mttr_s is not None):
+            raise ValueError(
+                "mtbf_s/mttr_s configure the outage model and need "
+                "fail_links > 0 — without victims they would be "
+                "silently ignored")
+        if mtbf_s is not None and mtbf_s <= 0:
+            raise ValueError("mtbf_s must be positive")
+        if mttr_s is not None and mttr_s <= 0:
+            raise ValueError("mttr_s must be positive")
         self.net = net
         self.num_circuits = circuits
         self.load = load
@@ -96,11 +148,25 @@ class TrafficEngine:
         self.endpoint_pairs = (None if endpoint_pairs is None
                                else list(endpoint_pairs))
         self.max_sessions = max_sessions
+        self.metric = metric
+        self.fail_links = fail_links
+        self.mtbf_s = mtbf_s
+        self.mttr_s = mttr_s
+        self.watch_interval_ms = watch_interval_ms
+        self.miss_limit = miss_limit
         self.circuits: list[TrafficCircuit] = []
         self.records: list[SessionRecord] = []
+        self.fault_events: list[FaultEvent] = []
+        #: Largest installed LPR share right after circuit installation.
+        self.max_link_share = 0.0
+        self.link_down_count = 0
+        self.circuits_recovered = 0
+        self.circuits_lost = 0
+        self._recovery_times_ns: list[float] = []
+        self._by_circuit_id: dict[str, TrafficCircuit] = {}
         self._ran = False
         # Endpoint stream (-1) is disjoint from the per-circuit arrival
-        # streams, which use stream indices >= 0.
+        # streams (indices >= 0) and the fault stream (-2).
         self._rng = random.Random(stream_seed(self.seed, -1))
 
     # ------------------------------------------------------------------
@@ -108,60 +174,95 @@ class TrafficEngine:
     # ------------------------------------------------------------------
 
     def install(self) -> list[TrafficCircuit]:
-        """Sample endpoints and establish the workload's circuits."""
+        """Sample endpoints and establish the workload's circuits.
+
+        Sampling is **node-centric**: each circuit draws a head node
+        uniformly among not-yet-used nodes, then a tail uniformly among
+        its in-range partners — uniform over *users* rather than over the
+        pair list (which over-weights nodes with many in-range partners),
+        and node-disjoint while fresh nodes last.  A circuit whose
+        endpoint is shared with an installed circuit would force both
+        onto the few links incident to that node, which no path metric
+        can route around; once the fresh pool runs out, endpoints (and,
+        for explicit ``endpoint_pairs``, whole pairs) are reused.
+        """
         if self.circuits:
             return self.circuits
-        candidates = (self.endpoint_pairs if self.endpoint_pairs is not None
-                      else self._candidate_pairs())
-        if not candidates:
-            raise ValueError(
-                f"no endpoint pairs at hop distance "
-                f"[{self.min_hops}, {self.max_hops}] in this topology")
-        order = list(candidates)
-        self._rng.shuffle(order)
-        cursor = 0
-        established_this_pass = 0
+        supplier = (self._explicit_pairs() if self.endpoint_pairs is not None
+                    else self._sampled_pairs())
         while len(self.circuits) < self.num_circuits:
-            if cursor >= len(order):
-                # Reuse endpoint pairs once the pool runs out (several
-                # circuits between the same endpoints is a valid workload,
-                # cf. the paper's Fig 8 sharing study).  Only a pass that
-                # established nothing means we are stuck: every remaining
-                # candidate fails routing at this fidelity.
-                if established_this_pass == 0:
-                    raise RuntimeError(
-                        f"could only establish {len(self.circuits)} of "
-                        f"{self.num_circuits} circuits at fidelity "
-                        f"{self.target_fidelity}")
-                cursor = 0
-                established_this_pass = 0
-            head, tail = order[cursor]
-            cursor += 1
-            if self._rng.random() < 0.5:
-                head, tail = tail, head
+            try:
+                head, tail = next(supplier)
+            except StopIteration:
+                raise RuntimeError(
+                    f"could only establish {len(self.circuits)} of "
+                    f"{self.num_circuits} circuits at fidelity "
+                    f"{self.target_fidelity}") from None
             try:
                 circuit_id = self.net.establish_circuit(
-                    head, tail, self.target_fidelity, self.cutoff_policy)
+                    head, tail, self.target_fidelity, self.cutoff_policy,
+                    metric=self.metric)
             except RouteError:
                 continue
             route = self.net.route_of(circuit_id)
-            self.circuits.append(TrafficCircuit(
+            circuit = TrafficCircuit(
                 index=len(self.circuits), circuit_id=circuit_id,
-                head=head, tail=tail, hops=route.num_links, eer=route.eer))
-            established_this_pass += 1
+                head=head, tail=tail, hops=route.num_links, eer=route.eer,
+                path=list(route.path))
+            self.circuits.append(circuit)
+            self._by_circuit_id[circuit_id] = circuit
+        if self.net.controller is not None:
+            self.max_link_share = self.net.controller.max_link_share()
         return self.circuits
 
-    def _candidate_pairs(self) -> list[tuple[str, str]]:
+    def _explicit_pairs(self):
+        """Yield caller-provided endpoint pairs, shuffled, with reuse.
+
+        Pairs are reused across passes once the pool runs out (several
+        circuits between the same endpoints is a valid workload, cf. the
+        paper's Fig 8 sharing study); a full pass that established no
+        circuit means every remaining candidate fails routing.
+        """
+        order = list(self.endpoint_pairs)
+        self._rng.shuffle(order)
+        while True:
+            before = len(self.circuits)
+            for head, tail in order:
+                if self._rng.random() < 0.5:
+                    head, tail = tail, head
+                yield head, tail
+            if len(self.circuits) == before:
+                return
+
+    def _sampled_pairs(self):
+        """Yield node-centric sampled endpoint pairs at bounded distance."""
         graph = self.net.graph
         nodes = sorted(graph.nodes)
         # Bound each BFS at max_hops: nodes beyond the cutoff are simply
         # absent from the inner maps (and were never candidates anyway).
         lengths = dict(nx.all_pairs_shortest_path_length(
             graph, cutoff=self.max_hops))
-        return [(a, b)
-                for i, a in enumerate(nodes) for b in nodes[i + 1:]
-                if self.min_hops <= lengths[a].get(b, self.max_hops + 1)
-                <= self.max_hops]
+
+        def partners(head: str, used: set) -> list[str]:
+            return [b for b in nodes
+                    if b != head and b not in used
+                    and self.min_hops <= lengths[head].get(
+                        b, self.max_hops + 1) <= self.max_hops]
+
+        if not any(partners(node, set()) for node in nodes):
+            raise ValueError(
+                f"no endpoint pairs at hop distance "
+                f"[{self.min_hops}, {self.max_hops}] in this topology")
+        used: set[str] = set()
+        for _ in range(200 * self.num_circuits):
+            fresh = [node for node in nodes if node not in used]
+            head = self._rng.choice(fresh or nodes)
+            mates = partners(head, used) or partners(head, set())
+            if not mates:
+                continue
+            tail = self._rng.choice(mates)
+            used.update((head, tail))
+            yield head, tail
 
     # ------------------------------------------------------------------
     # Workload execution
@@ -185,6 +286,8 @@ class TrafficEngine:
         sim = self.net.sim
         start_ns = sim.now
         horizon_ns = horizon_s * S
+        if self.fail_links > 0:
+            self._arm_faults(start_ns, horizon_ns)
         schedule = poisson_schedule(
             len(self.circuits), horizon_ns,
             [self._mean_interarrival_ns(circuit) for circuit in self.circuits],
@@ -208,7 +311,127 @@ class TrafficEngine:
         return build_report(self.net, self.circuits, self.records,
                             horizon_ns=horizon_ns,
                             elapsed_ns=elapsed_ns,
-                            classes=self.classes)
+                            classes=self.classes,
+                            recovery=self._recovery_stats())
+
+    # ------------------------------------------------------------------
+    # Fault injection and circuit recovery
+    # ------------------------------------------------------------------
+
+    def _arm_faults(self, start_ns: float, horizon_ns: float) -> None:
+        """Schedule the outage events and start liveness monitoring."""
+        used_edges = sorted({(circuit.path[i], circuit.path[i + 1])
+                             for circuit in self.circuits
+                             for i in range(len(circuit.path) - 1)})
+        self.fault_events = fault_schedule(
+            used_edges, horizon_ns, fail_links=self.fail_links,
+            mtbf_s=self.mtbf_s, mttr_s=self.mttr_s, seed=self.seed)
+        for event in self.fault_events:
+            self.net.sim.schedule_at(start_ns + event.at_ns,
+                                     self._apply_fault, event)
+        for circuit in self.circuits:
+            self._watch(circuit.circuit_id)
+
+    def _watch(self, circuit_id: str) -> None:
+        """Monitor one circuit's keepalive, routing failures to recovery."""
+        self.net.watch_circuit(circuit_id,
+                               interval_ms=self.watch_interval_ms,
+                               miss_limit=self.miss_limit,
+                               on_failure=self._on_circuit_failure)
+
+    def _apply_fault(self, event: FaultEvent) -> None:
+        """Execute one scheduled link state change."""
+        if event.kind == "down":
+            self.net.fail_link(*event.edge)
+            self.link_down_count += 1
+        else:
+            self.net.restore_link(*event.edge)
+
+    def _on_circuit_failure(self, circuit_id: str) -> None:
+        """Liveness declared a circuit dead: try to re-route it.
+
+        The in-flight sessions are snapshotted *before* the
+        management-plane teardown aborts their handles, so the recovery
+        callback can re-submit exactly those sessions on the new path.
+        """
+        circuit = self._by_circuit_id.pop(circuit_id, None)
+        if circuit is None:
+            return
+        t_failed = self.net.sim.now
+        inflight = [record for record in self.records
+                    if record.circuit_id == circuit_id
+                    and record.handle.status in (RequestStatus.ACTIVE,
+                                                 RequestStatus.QUEUED)]
+        new_id = self.net.recover_circuit(
+            circuit_id,
+            on_ready=lambda cid: self._on_circuit_recovered(t_failed))
+        if new_id is None:
+            circuit.lost = True
+            self.circuits_lost += 1
+            for record in inflight:
+                record.outcome = "lost"
+            return
+        route = self.net.route_of(new_id)
+        circuit.circuit_id = new_id
+        circuit.path = list(route.path)
+        circuit.hops = route.num_links
+        circuit.eer = route.eer
+        circuit.recoveries += 1
+        self._by_circuit_id[new_id] = circuit
+        # Re-watch and re-submit immediately rather than from on_ready:
+        # if a second outage kills the replacement path mid-handshake the
+        # RESV never arrives, and only the liveness keepalive can notice —
+        # it then simply triggers another recovery cycle, which picks the
+        # re-submitted sessions up again by their updated circuit ID.
+        self._watch(new_id)
+        for record in inflight:
+            self._resubmit(record, circuit)
+
+    def _on_circuit_recovered(self, t_failed: float) -> None:
+        """The replacement circuit's RESV arrived: recovery completed."""
+        self.circuits_recovered += 1
+        self._recovery_times_ns.append(self.net.sim.now - t_failed)
+
+    def _resubmit(self, record: SessionRecord, circuit: TrafficCircuit) -> None:
+        """Re-submit an interrupted session on its recovered circuit."""
+        done = sum(1 for handle in record_handles(record)
+                   for delivery in handle.delivered
+                   if delivery.status == DeliveryStatus.CONFIRMED)
+        remaining = record.spec.num_pairs - done
+        record.outcome = "recovered"
+        if remaining <= 0:
+            return
+        cls = record.spec.priority
+        deadline_ns = None
+        if cls.eer_fraction > 0:
+            deadline_ns = remaining / (cls.eer_fraction * circuit.eer) * 1e9
+        handle = self.net.submit(
+            circuit.circuit_id,
+            UserRequest(num_pairs=remaining, deadline=deadline_ns),
+            record_fidelity=True)
+        record.prior_handles.append(record.handle)
+        record.handle = handle
+        record.circuit_id = circuit.circuit_id
+
+    def _recovery_stats(self) -> RecoveryStats:
+        """Aggregate the run's routing/recovery telemetry."""
+        controller = self.net.controller
+        return RecoveryStats(
+            metric=self.metric,
+            fail_links=len({event.edge for event in self.fault_events}),
+            link_down_events=self.link_down_count,
+            circuits_recovered=self.circuits_recovered,
+            circuits_lost=self.circuits_lost,
+            sessions_recovered=sum(1 for record in self.records
+                                   if record.outcome == "recovered"),
+            sessions_lost=sum(1 for record in self.records
+                              if record.outcome == "lost"),
+            mean_recovery_ms=(mean(self._recovery_times_ns) / 1e6
+                              if self._recovery_times_ns else None),
+            max_link_share=self.max_link_share,
+            route_computations=(controller.route_computations
+                                if controller is not None else 0),
+        )
 
     def _mean_interarrival_ns(self, circuit: TrafficCircuit) -> float:
         """Inter-arrival time so offered pairs/s ≈ load × circuit EER."""
@@ -218,7 +441,19 @@ class TrafficEngine:
         return mean_pairs / offered_rate * 1e9
 
     def _submit(self, spec: SessionSpec) -> None:
+        """Submit one scheduled session at its circuit's head-end."""
         circuit = self.circuits[spec.circuit_index]
+        if circuit.lost:
+            # The circuit is gone and not coming back: account the
+            # arrival as LOST instead of leaving the session hanging.
+            request = UserRequest(num_pairs=spec.num_pairs)
+            handle = RequestHandle(request, 0.0)
+            handle.t_submitted = self.net.sim.now
+            handle.status = RequestStatus.ABORTED
+            self.records.append(SessionRecord(
+                spec=spec, circuit_id=circuit.circuit_id,
+                handle=handle, decision="lost", outcome="lost"))
+            return
         cls = spec.priority
         deadline_ns = None
         if cls.eer_fraction > 0:

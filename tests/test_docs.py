@@ -1,0 +1,59 @@
+"""Documentation integrity: intra-repo links and CLI reference coverage.
+
+The CI docs job runs this module: every relative markdown link in the
+top-level documents must resolve to a real file, and the README's CLI
+reference table must mention every subcommand and flag the argument
+parser actually exposes (so the docs cannot silently drift from the
+code).
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.cli import build_parser
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DOCUMENTS = ("README.md", "DESIGN.md", "ROADMAP.md")
+
+_LINK = re.compile(r"\[[^\]]+\]\(([^)]+)\)")
+
+
+def _relative_links(text):
+    """All markdown link targets that point inside the repository."""
+    links = []
+    for target in _LINK.findall(text):
+        target = target.split("#")[0].strip()
+        if not target or "://" in target or target.startswith("mailto:"):
+            continue
+        links.append(target)
+    return links
+
+
+@pytest.mark.parametrize("document", DOCUMENTS)
+def test_intra_repo_links_resolve(document):
+    path = REPO_ROOT / document
+    text = path.read_text(encoding="utf-8")
+    broken = [target for target in _relative_links(text)
+              if not (path.parent / target).exists()]
+    assert not broken, f"{document} has broken intra-repo links: {broken}"
+
+
+def test_readme_documents_every_subcommand_and_flag():
+    readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+    parser = build_parser()
+    subparsers = next(
+        action for action in parser._actions
+        if isinstance(action, type(parser._subparsers._group_actions[0])))
+    for name, sub in subparsers.choices.items():
+        assert f"`{name}`" in readme, f"README misses subcommand {name}"
+        for action in sub._actions:
+            for option in action.option_strings:
+                if option.startswith("--") and option != "--help":
+                    assert option in readme, (
+                        f"README misses flag {option} of subcommand {name}")
+    for action in parser._actions:
+        for option in action.option_strings:
+            if option.startswith("--") and option != "--help":
+                assert option in readme, f"README misses global flag {option}"
