@@ -11,7 +11,6 @@ percentile within a factor of two of 30 ms.
 """
 
 from repro.analysis import Cdf, mean, render_table
-from repro.core import UserRequest
 from repro.netsim.units import MS, S
 from repro.network.builder import build_chain_network
 

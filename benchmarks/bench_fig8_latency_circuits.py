@@ -23,7 +23,7 @@ REPRO_SCALE=full: 100-pair requests, counts 1..8, three seeds.
 import pytest
 
 from repro.analysis import mean, render_table
-from repro.core import RequestStatus, UserRequest
+from repro.core import UserRequest
 from repro.network.builder import build_dumbbell_network
 
 from figutils import scale, write_result

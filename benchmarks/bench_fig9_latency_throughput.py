@@ -18,7 +18,7 @@ Expected shapes (asserted):
 import pytest
 
 from repro.analysis import mean, render_table
-from repro.core import RequestStatus, UserRequest
+from repro.core import UserRequest
 from repro.netsim.units import MS, S
 from repro.network.builder import build_dumbbell_network
 

@@ -19,20 +19,15 @@ import argparse
 import json
 import random
 import statistics
-import subprocess
 import sys
 import time
 from pathlib import Path
 
 
 def _git_revision() -> str:
-    try:
-        out = subprocess.run(["git", "rev-parse", "--short", "HEAD"],
-                             capture_output=True, text=True, check=True,
-                             cwd=Path(__file__).resolve().parent)
-        return out.stdout.strip() or "dev"
-    except Exception:
-        return "dev"
+    from repro.campaign import git_revision
+
+    return git_revision(Path(__file__).resolve().parent)
 
 
 def _median_ns(fn, iterations: int, rounds: int) -> float:
@@ -164,6 +159,30 @@ def bench_route_compute(metric: str):
     return run
 
 
+def bench_campaign_cell(formalism: str):
+    """One campaign cell end to end (the per-cell cost a grid multiplies).
+
+    Executes the CI smoke spec's faulted cell — ring:5, 2 circuits,
+    0.3 s of traffic with one link failure — through the campaign
+    runner's ``run_cell`` path, including telemetry reduction.
+    """
+    from repro.campaign import FaultSpec, CampaignCell, run_cell
+
+    cell = CampaignCell(
+        index=0, topology="ring", size=5, formalism=formalism,
+        metric="hops", faults=FaultSpec(fail_links=1), circuits=2,
+        load=0.7, seed=7, horizon_s=0.3, drain_s=0.15,
+        target_fidelity=0.7)
+
+    def run():
+        result = run_cell(cell)
+        assert not result.error
+        assert result.pairs > 0
+        return result.pairs
+
+    return run
+
+
 def bench_link_generation_round(formalism: str):
     from repro.network.builder import build_chain_network
 
@@ -204,6 +223,7 @@ BENCHMARKS = {
     "link_generation_round_bell": (lambda: bench_link_generation_round("bell"), 5),
     "traffic_round_dm": (lambda: bench_traffic_round("dm"), 1),
     "traffic_round_bell": (lambda: bench_traffic_round("bell"), 1),
+    "campaign_cell_bell": (lambda: bench_campaign_cell("bell"), 1),
 }
 
 

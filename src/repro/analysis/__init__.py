@@ -1,6 +1,12 @@
 """Evaluation helpers: statistics, seed sweeps, table rendering."""
 
-from .experiments import SeedSweep, render_series, render_table, run_seeds
+from .experiments import (
+    SeedSweep,
+    map_parallel,
+    render_series,
+    render_table,
+    run_seeds,
+)
 from .stats import Cdf, LatencySummary, mean, percentile, standard_error, throughput
 from .tracing import EventLog, TraceEvent, attach_trace
 
@@ -15,6 +21,7 @@ __all__ = [
     "standard_error",
     "throughput",
     "SeedSweep",
+    "map_parallel",
     "run_seeds",
     "render_table",
     "render_series",

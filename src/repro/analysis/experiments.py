@@ -14,6 +14,29 @@ from typing import Callable, Iterable, Optional, Sequence
 from .stats import mean, standard_error
 
 
+def map_parallel(fn, items: Sequence, workers: Optional[int] = None) -> list:
+    """Order-preserving map, optionally sharded over a process pool.
+
+    The sharding core shared by :meth:`SeedSweep.run` and the campaign
+    runner (:func:`repro.campaign.run_campaign`): ``items`` are fanned out
+    across ``workers`` ``multiprocessing`` processes (default one per CPU,
+    capped at the item count) and the results come back **in input
+    order**, so a sharded map aggregates identically to the serial one
+    whenever each call is self-contained in its item.  ``workers=1`` (or
+    a single item) is the serial path — no pool, no pickling requirement
+    on ``fn`` or ``items``.
+    """
+    items = list(items)
+    if workers is None:
+        workers = min(len(items), os.cpu_count() or 1)
+    if workers > 1 and len(items) > 1:
+        import multiprocessing
+
+        with multiprocessing.Pool(processes=workers) as pool:
+            return pool.map(fn, items)
+    return [fn(item) for item in items]
+
+
 @dataclass
 class SeedSweep:
     """Run a scenario across seeds and aggregate per-seed scalars."""
@@ -27,23 +50,18 @@ class SeedSweep:
         """Evaluate the scenario on every seed.
 
         ``parallel=True`` fans the seeds out over a ``multiprocessing`` pool
-        (``workers`` processes, default one per CPU up to the seed count).
-        Results are deterministic and identical to the serial run: each
-        scenario call is self-contained in its seed, and ``samples`` keeps
-        the seed order regardless of completion order.  ``workers=1`` (or a
-        single seed) falls back to the serial path — no pool, no pickling
-        requirements on ``scenario``.
+        via :func:`map_parallel` (``workers`` processes, default one per
+        CPU up to the seed count).  Results are deterministic and identical
+        to the serial run: each scenario call is self-contained in its
+        seed, and ``samples`` keeps the seed order regardless of completion
+        order.  ``workers=1`` (or a single seed) falls back to the serial
+        path — no pool, no pickling requirements on ``scenario``.
         """
         if parallel:
-            if workers is None:
-                workers = min(len(self.seeds), os.cpu_count() or 1)
-            if workers > 1 and len(self.seeds) > 1:
-                import multiprocessing
-
-                with multiprocessing.Pool(processes=workers) as pool:
-                    results = pool.map(self.scenario, self.seeds)
-                self.samples = [float(sample) for sample in results]
-                return self
+            self.samples = [float(sample) for sample
+                            in map_parallel(self.scenario, self.seeds,
+                                            workers=workers)]
+            return self
         self.samples = [float(self.scenario(seed)) for seed in self.seeds]
         return self
 

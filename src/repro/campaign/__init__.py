@@ -1,0 +1,46 @@
+"""Campaign harness: declarative scenario grids, sharded deterministically.
+
+The subsystem behind ``python -m repro campaign``: declare a parameter
+grid over topology × formalism × routing metric × fault schedule × load ×
+seeds as data (:mod:`~repro.campaign.spec`), expand it into
+self-contained cells, execute every cell through the traffic engine —
+serially or sharded across a ``multiprocessing`` pool
+(:mod:`~repro.campaign.runner`) — and aggregate the telemetry into one
+report plus a machine-readable ``CAMPAIGN_<rev>.json`` artifact
+(:mod:`~repro.campaign.report`).  Entry points::
+
+    from repro.campaign import load_spec, run_campaign
+
+    spec = load_spec("examples/campaign_grid.json")
+    result = run_campaign(spec, workers=4)
+    print(result.render())
+    result.write_json("CAMPAIGN_dev.json")
+
+Sharded and serial runs aggregate byte-identically for the same spec —
+see :func:`~repro.campaign.runner.run_campaign`.
+"""
+
+from .report import CampaignResult, git_revision
+from .runner import CellResult, run_campaign, run_cell
+from .spec import (
+    AXIS_DEFAULTS,
+    AXIS_ORDER,
+    CampaignCell,
+    CampaignSpec,
+    FaultSpec,
+    load_spec,
+)
+
+__all__ = [
+    "AXIS_DEFAULTS",
+    "AXIS_ORDER",
+    "CampaignCell",
+    "CampaignResult",
+    "CampaignSpec",
+    "CellResult",
+    "FaultSpec",
+    "git_revision",
+    "load_spec",
+    "run_campaign",
+    "run_cell",
+]

@@ -1,0 +1,168 @@
+"""Campaign execution: run every cell, serial or sharded, deterministically.
+
+Each :class:`~repro.campaign.spec.CampaignCell` is executed through the
+normal :class:`~repro.traffic.workload.TrafficEngine` path — build the
+cell's topology, install its circuits with its routing metric, run its
+Poisson workload (with its fault schedule, when one is declared) — and
+reduced to a :class:`CellResult` of plain scalars.
+
+Sharding goes through :func:`repro.analysis.experiments.map_parallel`:
+cells are fanned out across a ``multiprocessing`` pool and the results
+come back in cell order, so ``workers=8`` aggregates **byte-identically**
+to ``workers=1`` for the same spec.  Two rules keep that true:
+
+* every cell is self-contained in its parameters — the network seed, the
+  workload seed and the fault stream all derive from the cell's ``seed``;
+* :class:`CellResult` carries *counts and rates only*, never process-level
+  labels (circuit IDs draw from a process-global counter, which differs
+  between a fresh pool worker and a long-lived serial process).
+
+A cell that fails to install (e.g. more circuits than a small topology
+can route) records its error string instead of sinking the campaign —
+errors are deterministic too, so they shard identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..analysis.experiments import map_parallel
+from ..traffic.topologies import build_topology
+from ..traffic.workload import TrafficEngine
+from .report import CampaignResult
+from .spec import CampaignCell, CampaignSpec
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """One executed cell, reduced to shard-order-independent scalars."""
+
+    index: int
+    #: Cell label ("topology:size formalism metric faults seed").
+    label: str
+    nodes: int
+    links: int
+    circuits_installed: int
+    max_link_share: float
+    sessions: int
+    accepted: int
+    queued: int
+    rejected: int
+    completed: int
+    pairs: int
+    throughput_pairs_per_s: float
+    mean_fidelity: Optional[float]
+    link_down_events: int
+    circuits_recovered: int
+    circuits_lost: int
+    sessions_recovered: int
+    sessions_lost: int
+    route_computations: int
+    #: Non-empty when the cell failed; every telemetry field is then 0.
+    error: str = ""
+
+    def to_dict(self) -> dict:
+        """JSON-ready row for the ``CAMPAIGN_<rev>.json`` artifact."""
+        return {
+            "index": self.index,
+            "label": self.label,
+            "nodes": self.nodes,
+            "links": self.links,
+            "circuits_installed": self.circuits_installed,
+            "max_link_share": round(self.max_link_share, 4),
+            "sessions": self.sessions,
+            "accepted": self.accepted,
+            "queued": self.queued,
+            "rejected": self.rejected,
+            "completed": self.completed,
+            "pairs": self.pairs,
+            "throughput_pairs_per_s": round(self.throughput_pairs_per_s, 2),
+            "mean_fidelity": (None if self.mean_fidelity is None
+                              else round(self.mean_fidelity, 4)),
+            "link_down_events": self.link_down_events,
+            "circuits_recovered": self.circuits_recovered,
+            "circuits_lost": self.circuits_lost,
+            "sessions_recovered": self.sessions_recovered,
+            "sessions_lost": self.sessions_lost,
+            "route_computations": self.route_computations,
+            "error": self.error,
+        }
+
+
+def run_cell(cell: CampaignCell) -> CellResult:
+    """Execute one campaign cell end to end and reduce its telemetry.
+
+    Module-level (picklable) on purpose: this is the function the pool
+    workers receive.  Deterministic in the cell alone.
+    """
+    try:
+        net = build_topology(cell.topology, cell.size, seed=cell.seed,
+                             formalism=cell.formalism)
+        engine = TrafficEngine(
+            net, circuits=cell.circuits, load=cell.load,
+            target_fidelity=cell.target_fidelity, seed=cell.seed,
+            metric=cell.metric, fail_links=cell.faults.fail_links,
+            mtbf_s=cell.faults.mtbf_s, mttr_s=cell.faults.mttr_s)
+        report = engine.run(horizon_s=cell.horizon_s, drain_s=cell.drain_s)
+    except (ValueError, RuntimeError) as exc:
+        return _error_result(cell, f"{type(exc).__name__}: {exc}")
+    recovery = report.recovery
+    return CellResult(
+        index=cell.index,
+        label=cell.label(),
+        nodes=len(net.nodes),
+        links=len(net.links),
+        circuits_installed=len(engine.circuits),
+        max_link_share=engine.max_link_share,
+        sessions=report.total_sessions,
+        accepted=sum(t.accepted for t in report.classes.values()),
+        queued=sum(t.queued for t in report.classes.values()),
+        rejected=sum(t.rejected for t in report.classes.values()),
+        completed=sum(t.completed for t in report.classes.values()),
+        pairs=report.total_confirmed_pairs,
+        throughput_pairs_per_s=report.throughput_pairs_per_s,
+        mean_fidelity=report.mean_fidelity,
+        link_down_events=(recovery.link_down_events if recovery else 0),
+        circuits_recovered=(recovery.circuits_recovered if recovery else 0),
+        circuits_lost=(recovery.circuits_lost if recovery else 0),
+        sessions_recovered=(recovery.sessions_recovered if recovery else 0),
+        sessions_lost=(recovery.sessions_lost if recovery else 0),
+        route_computations=(recovery.route_computations if recovery else 0),
+    )
+
+
+def _error_result(cell: CampaignCell, message: str) -> CellResult:
+    """A zeroed result recording why the cell could not run."""
+    return CellResult(
+        index=cell.index, label=cell.label(), nodes=0, links=0,
+        circuits_installed=0, max_link_share=0.0, sessions=0, accepted=0,
+        queued=0, rejected=0, completed=0, pairs=0,
+        throughput_pairs_per_s=0.0, mean_fidelity=None, link_down_events=0,
+        circuits_recovered=0, circuits_lost=0, sessions_recovered=0,
+        sessions_lost=0, route_computations=0, error=message)
+
+
+def run_campaign(spec: CampaignSpec, workers: int = 1,
+                 cells: Optional[list[CampaignCell]] = None) -> CampaignResult:
+    """Expand a spec and execute every cell, sharded over ``workers``.
+
+    ``workers=1`` runs serially in-process; ``workers>1`` shards the cell
+    list over a ``multiprocessing`` pool.  Both orders of execution
+    produce the identical :class:`~repro.campaign.report.CampaignResult`
+    (and hence byte-identical rendered reports and JSON artifacts) for
+    the same spec — the determinism the CI smoke test pins.
+
+    ``cells`` lets a caller that already called ``spec.expand()`` (e.g.
+    to print the grid size up front) reuse the expansion; it must be
+    exactly that — expansion is deterministic, so any other list would
+    desynchronise results from the spec.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    if cells is None:
+        cells = spec.expand()
+    if not cells:  # pragma: no cover - load_spec forbids empty axes
+        raise ValueError("campaign expands to zero cells")
+    results = map_parallel(run_cell, cells, workers=workers)
+    return CampaignResult(spec=spec, cells=cells, results=list(results))

@@ -1,0 +1,340 @@
+"""Declarative campaign specs: axes, validation and grid expansion.
+
+A campaign spec declares *axes* — lists of values per dimension — and the
+harness expands their cross-product into :class:`CampaignCell`\\ s, one
+self-contained scenario each.  Specs are plain dicts (or JSON files), so
+a study is data, not a hand-written ``bench_*`` script::
+
+    {
+      "name": "grid-demo",
+      "axes": {
+        "topology":  ["grid:3", "ring:6"],
+        "formalism": ["dm", "bell"],
+        "metric":    ["hops", "utilisation"],
+        "faults":    [null, {"fail_links": 1}],
+        "circuits":  [4],
+        "load":      [0.7],
+        "seed":      [7]
+      },
+      "horizon_s": 0.5
+    }
+
+Axis values draw their vocabulary from the subsystems the cells execute:
+``topology`` from :data:`repro.traffic.topologies.TOPOLOGIES`,
+``formalism`` from :data:`repro.quantum.backends.FORMALISMS`, ``metric``
+from :data:`repro.control.routing.PATH_METRICS` and ``faults`` from the
+keyword surface of :func:`repro.traffic.faults.fault_schedule`.  Every
+validation failure raises :class:`ValueError` naming the offending axis
+and the accepted vocabulary; expansion order is deterministic (the fixed
+``AXIS_ORDER``, values in spec order), which is what makes sharded runs
+aggregate identically to serial ones.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+from ..control.routing import PATH_METRICS
+from ..quantum.backends import FORMALISMS
+from ..traffic.topologies import TOPOLOGIES
+
+#: Cross-product expansion order (outermost axis first).
+AXIS_ORDER = ("topology", "formalism", "metric", "faults", "circuits",
+              "load", "seed")
+
+#: Axes that may be omitted, and the single-value default they get.
+AXIS_DEFAULTS = {
+    "formalism": ["dm"],
+    "metric": ["hops"],
+    "faults": [None],
+    "circuits": [4],
+    "load": [0.7],
+    "seed": [0],
+}
+
+_FAULT_KEYS = ("fail_links", "mtbf_s", "mttr_s")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One value of the ``faults`` axis: the outage model of a cell."""
+
+    fail_links: int
+    mtbf_s: Optional[float] = None
+    mttr_s: Optional[float] = None
+
+    def label(self) -> str:
+        """Short tag for tables ("-" when the cell runs fault-free)."""
+        if self.fail_links == 0:
+            return "-"
+        tag = f"fail={self.fail_links}"
+        if self.mtbf_s is not None:
+            tag += f",mtbf={self.mtbf_s:g}"
+        if self.mttr_s is not None:
+            tag += f",mttr={self.mttr_s:g}"
+        return tag
+
+
+@dataclass(frozen=True)
+class CampaignCell:
+    """One grid cell: a fully specified, self-contained scenario.
+
+    Cells are frozen and picklable so the runner can ship them to pool
+    workers; the scenario constants (horizon, drain, target fidelity) are
+    denormalised onto every cell for the same reason.
+    """
+
+    index: int
+    topology: str
+    size: int
+    formalism: str
+    metric: str
+    faults: FaultSpec
+    circuits: int
+    load: float
+    seed: int
+    horizon_s: float
+    drain_s: float
+    target_fidelity: float
+
+    def label(self) -> str:
+        """Human-readable cell tag used in report tables."""
+        return (f"{self.topology}:{self.size} {self.formalism} "
+                f"{self.metric} {self.faults.label()} s{self.seed}")
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A validated campaign: axes plus the per-cell scenario constants."""
+
+    name: str
+    axes: dict
+    horizon_s: float = 0.5
+    drain_s: Optional[float] = None
+    target_fidelity: float = 0.7
+
+    def expand(self) -> list[CampaignCell]:
+        """Expand the axes' cross-product into the cell list.
+
+        Deterministic: axes iterate in :data:`AXIS_ORDER` (outermost
+        first), values in the order the spec listed them.
+        """
+        drain = self.horizon_s / 2 if self.drain_s is None else self.drain_s
+        cells = []
+        for values in itertools.product(*(self.axes[axis]
+                                          for axis in AXIS_ORDER)):
+            topology, formalism, metric, faults, circuits, load, seed = values
+            kind, size = topology
+            cells.append(CampaignCell(
+                index=len(cells), topology=kind, size=size,
+                formalism=formalism, metric=metric, faults=faults,
+                circuits=circuits, load=load, seed=seed,
+                horizon_s=self.horizon_s, drain_s=drain,
+                target_fidelity=self.target_fidelity))
+        return cells
+
+    def to_dict(self) -> dict:
+        """The normalised spec as JSON-ready data (for the artifact)."""
+        axes = {}
+        for axis in AXIS_ORDER:
+            values = self.axes[axis]
+            if axis == "topology":
+                axes[axis] = [f"{kind}:{size}" for kind, size in values]
+            elif axis == "faults":
+                axes[axis] = [None if fault.fail_links == 0 else {
+                    key: getattr(fault, key)
+                    for key in _FAULT_KEYS
+                    if getattr(fault, key) not in (None, 0)}
+                    for fault in values]
+            else:
+                axes[axis] = list(values)
+        return {"name": self.name, "axes": axes,
+                "horizon_s": self.horizon_s,
+                "drain_s": self.horizon_s / 2 if self.drain_s is None
+                else self.drain_s,
+                "target_fidelity": self.target_fidelity}
+
+
+def load_spec(source: Union[str, Path, dict]) -> CampaignSpec:
+    """Build a validated :class:`CampaignSpec` from a dict or JSON file.
+
+    Raises :class:`ValueError` for unknown axes, empty grids and values
+    outside each axis's vocabulary — the message always names the axis
+    and what would have been accepted.
+    """
+    if isinstance(source, (str, Path)):
+        path = Path(source)
+        if not path.exists():
+            raise ValueError(f"campaign spec file not found: {path}")
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"campaign spec {path} is not valid JSON: "
+                             f"{exc}") from None
+    else:
+        data = source
+    if not isinstance(data, dict):
+        raise ValueError("a campaign spec must be a JSON object / dict")
+    unknown_top = sorted(set(data) - {"name", "axes", "horizon_s", "drain_s",
+                                      "target_fidelity"})
+    if unknown_top:
+        raise ValueError(f"unknown campaign spec keys: "
+                         f"{', '.join(unknown_top)}")
+    axes_in = data.get("axes")
+    if not isinstance(axes_in, dict) or not axes_in:
+        raise ValueError("campaign spec needs a non-empty 'axes' object")
+    unknown = sorted(set(axes_in) - set(AXIS_ORDER))
+    if unknown:
+        raise ValueError(
+            f"unknown campaign axis {', '.join(map(repr, unknown))} "
+            f"(have: {', '.join(AXIS_ORDER)})")
+    if "topology" not in axes_in:
+        raise ValueError("campaign spec needs a 'topology' axis "
+                         "(e.g. [\"grid:3\"])")
+    axes = {}
+    for axis in AXIS_ORDER:
+        raw = axes_in.get(axis, AXIS_DEFAULTS.get(axis))
+        if not isinstance(raw, (list, tuple)) or len(raw) == 0:
+            raise ValueError(
+                f"axis {axis!r} must be a non-empty list "
+                f"(an empty axis would make the whole grid empty)")
+        axes[axis] = tuple(_validate_axis_value(axis, value)
+                           for value in raw)
+    horizon_s = data.get("horizon_s", 0.5)
+    if not _is_number(horizon_s) or horizon_s <= 0:
+        raise ValueError("horizon_s must be a positive number")
+    drain_s = data.get("drain_s")
+    if drain_s is not None and (not _is_number(drain_s) or drain_s < 0):
+        raise ValueError("drain_s must be a non-negative number")
+    target = data.get("target_fidelity", 0.7)
+    # Same bound the routing layer enforces per circuit: anything below
+    # 0.5 would pass here only to fail every establish_circuit at run
+    # time, and a campaign should die before its first cell.
+    if not _is_number(target) or not 0.5 <= target < 1:
+        raise ValueError("target_fidelity must be in [0.5, 1)")
+    return CampaignSpec(name=str(data.get("name", "campaign")), axes=axes,
+                        horizon_s=float(horizon_s),
+                        drain_s=None if drain_s is None else float(drain_s),
+                        target_fidelity=float(target))
+
+
+def _is_number(value) -> bool:
+    """True for real numbers; booleans are not numbers in a spec."""
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _validate_axis_value(axis: str, value):
+    """Normalise and validate one axis entry; raise a naming ValueError."""
+    if axis == "topology":
+        return _parse_topology(value)
+    if axis == "formalism":
+        if value not in FORMALISMS:
+            raise ValueError(
+                f"axis 'formalism': unknown formalism {value!r} "
+                f"(have: {', '.join(FORMALISMS)})")
+        return value
+    if axis == "metric":
+        if value not in PATH_METRICS:
+            raise ValueError(
+                f"axis 'metric': unknown path metric {value!r} "
+                f"(have: {', '.join(PATH_METRICS)})")
+        return value
+    if axis == "faults":
+        return _parse_faults(value)
+    if axis == "circuits":
+        if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+            raise ValueError(
+                f"axis 'circuits': need a positive integer, got {value!r}")
+        return value
+    if axis == "load":
+        if not isinstance(value, (int, float)) or isinstance(value, bool) \
+                or value <= 0:
+            raise ValueError(
+                f"axis 'load': need a positive number, got {value!r}")
+        return float(value)
+    if axis == "seed":
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise ValueError(
+                f"axis 'seed': need an integer, got {value!r}")
+        return value
+    raise ValueError(f"unknown campaign axis {axis!r}")  # pragma: no cover
+
+
+def _parse_topology(value) -> tuple[str, int]:
+    """Accept ``"grid:3"`` or ``{"kind": "grid", "size": 3}``."""
+    if isinstance(value, str):
+        kind, sep, size_text = value.partition(":")
+        if not sep or not size_text:
+            raise ValueError(
+                f"axis 'topology': use 'kind:size' (e.g. 'grid:3') or a "
+                f"{{kind, size}} object, got {value!r}")
+        try:
+            size = int(size_text)
+        except ValueError:
+            raise ValueError(
+                f"axis 'topology': size in {value!r} is not an integer"
+            ) from None
+    elif isinstance(value, dict):
+        extra = sorted(set(value) - {"kind", "size"})
+        if extra:
+            raise ValueError(
+                f"axis 'topology': unknown keys {', '.join(extra)} "
+                f"(allowed: kind, size)")
+        kind = value.get("kind")
+        size = value.get("size")
+        if not isinstance(size, int) or isinstance(size, bool):
+            raise ValueError(
+                f"axis 'topology': size must be an integer, got {size!r}")
+    else:
+        raise ValueError(
+            f"axis 'topology': entries are 'kind:size' strings or "
+            f"{{kind, size}} objects, got {value!r}")
+    if kind not in TOPOLOGIES:
+        raise ValueError(
+            f"axis 'topology': unknown topology {kind!r} "
+            f"(have: {', '.join(sorted(TOPOLOGIES))})")
+    if size < 1:
+        raise ValueError(
+            f"axis 'topology': size must be >= 1, got {size}")
+    return kind, size
+
+
+def _parse_faults(value) -> FaultSpec:
+    """Accept ``null`` (fault-free) or a ``fault_schedule`` kwargs object."""
+    if value is None:
+        return FaultSpec(fail_links=0)
+    if isinstance(value, FaultSpec):
+        return value
+    if not isinstance(value, dict):
+        raise ValueError(
+            f"axis 'faults': entries are null or objects with "
+            f"{', '.join(_FAULT_KEYS)}, got {value!r}")
+    extra = sorted(set(value) - set(_FAULT_KEYS))
+    if extra:
+        raise ValueError(
+            f"axis 'faults': unknown keys {', '.join(extra)} "
+            f"(allowed: {', '.join(_FAULT_KEYS)})")
+    fail_links = value.get("fail_links", 0)
+    if not isinstance(fail_links, int) or isinstance(fail_links, bool) \
+            or fail_links < 0:
+        raise ValueError(
+            f"axis 'faults': fail_links must be a non-negative integer, "
+            f"got {fail_links!r}")
+    mtbf_s = value.get("mtbf_s")
+    mttr_s = value.get("mttr_s")
+    for key, knob in (("mtbf_s", mtbf_s), ("mttr_s", mttr_s)):
+        if knob is not None and (not _is_number(knob) or knob <= 0):
+            raise ValueError(
+                f"axis 'faults': {key} must be a positive number, "
+                f"got {knob!r}")
+    if fail_links == 0 and (mtbf_s is not None or mttr_s is not None):
+        raise ValueError(
+            "axis 'faults': mtbf_s/mttr_s need fail_links > 0 "
+            "(without victims they would be silently ignored)")
+    return FaultSpec(fail_links=fail_links,
+                     mtbf_s=None if mtbf_s is None else float(mtbf_s),
+                     mttr_s=None if mttr_s is None else float(mttr_s))

@@ -9,6 +9,7 @@ Usage::
     python -m repro trace --pairs 2
     python -m repro traffic --topology grid --size 4 --circuits 8 --load 0.7
     python -m repro traffic --metric utilisation --fail-links 2 --seed 7
+    python -m repro campaign --spec examples/campaign_grid.json --workers 4
 
 ``--formalism bell`` runs any scenario on the fast Bell-diagonal state
 backend instead of the exact density-matrix engine — see DESIGN.md for when
@@ -136,6 +137,30 @@ def _cmd_traffic(args: argparse.Namespace) -> int:
     return 0 if report.total_confirmed_pairs > 0 else 1
 
 
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .campaign import git_revision, load_spec, run_campaign
+
+    if args.workers < 1:
+        raise SystemExit("--workers must be >= 1")
+    try:
+        spec = load_spec(args.spec)
+    except ValueError as exc:
+        raise SystemExit(f"bad campaign spec: {exc}")
+    cells = spec.expand()
+    print(f"campaign {spec.name}: {len(cells)} cells, "
+          f"{args.workers} worker(s)")
+    result = run_campaign(spec, workers=args.workers, cells=cells)
+    print()
+    print(result.render())
+    revision = git_revision(Path.cwd())
+    out = Path(args.out) if args.out else Path(f"CAMPAIGN_{revision}.json")
+    result.write_json(out, revision=revision)
+    print(f"\nwrote {out}")
+    return 0 if result.completed_cells > 0 else 1
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from .analysis import attach_trace
 
@@ -248,6 +273,21 @@ def build_parser() -> argparse.ArgumentParser:
                          help="time to repair a failed link (simulated s;"
                               " default: a quarter of the horizon)")
     traffic.set_defaults(fn=_cmd_traffic)
+
+    campaign = sub.add_parser(
+        "campaign", help="declarative scenario grid, sharded across cores")
+    campaign.add_argument("--spec", required=True,
+                          help="campaign spec JSON file (axes over topology,"
+                               " formalism, metric, faults, circuits, load,"
+                               " seed)")
+    campaign.add_argument("--workers", type=int, default=1,
+                          help="processes to shard the cells across"
+                               " (sharded runs aggregate identically to"
+                               " --workers 1)")
+    campaign.add_argument("--out", default=None,
+                          help="artifact path (default: CAMPAIGN_<rev>.json"
+                               " in the current directory)")
+    campaign.set_defaults(fn=_cmd_campaign)
     return parser
 
 

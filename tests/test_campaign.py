@@ -1,0 +1,263 @@
+"""Tests for the campaign harness: spec validation, sharded determinism.
+
+The expensive pins — sharded-vs-serial byte-identity and the end-to-end
+CLI — run on the tiny smoke grid (`examples/campaign_smoke.json`) on the
+bell backend; everything else is pure spec/report logic and fast.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.campaign import (
+    AXIS_ORDER,
+    CampaignSpec,
+    FaultSpec,
+    load_spec,
+    run_campaign,
+    run_cell,
+)
+from repro.cli import main
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+
+def _minimal_axes(**overrides):
+    axes = {"topology": ["ring:5"], "formalism": ["bell"],
+            "metric": ["hops"], "faults": [None], "circuits": [2],
+            "load": [0.7], "seed": [7]}
+    axes.update(overrides)
+    return axes
+
+
+# ----------------------------------------------------------------------
+# Spec validation
+# ----------------------------------------------------------------------
+
+class TestSpecValidation:
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(ValueError, match="unknown campaign axis 'colour'"):
+            load_spec({"axes": _minimal_axes(colour=["red"])})
+
+    def test_unknown_top_level_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown campaign spec keys"):
+            load_spec({"axes": _minimal_axes(), "horizon": 2.0})
+
+    def test_missing_axes_rejected(self):
+        with pytest.raises(ValueError, match="non-empty 'axes'"):
+            load_spec({"name": "empty"})
+
+    def test_missing_topology_axis_rejected(self):
+        with pytest.raises(ValueError, match="'topology' axis"):
+            load_spec({"axes": {"formalism": ["bell"]}})
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError, match="axis 'metric' must be a"
+                                             " non-empty list"):
+            load_spec({"axes": _minimal_axes(metric=[])})
+
+    def test_non_list_axis_rejected(self):
+        with pytest.raises(ValueError, match="axis 'formalism'"):
+            load_spec({"axes": _minimal_axes(formalism="bell")})
+
+    def test_bad_topology_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown topology 'moebius'"):
+            load_spec({"axes": _minimal_axes(topology=["moebius:4"])})
+
+    def test_bad_topology_shape_rejected(self):
+        with pytest.raises(ValueError, match="kind:size"):
+            load_spec({"axes": _minimal_axes(topology=["grid"])})
+        with pytest.raises(ValueError, match="not an integer"):
+            load_spec({"axes": _minimal_axes(topology=["grid:big"])})
+        with pytest.raises(ValueError, match="unknown keys"):
+            load_spec({"axes": _minimal_axes(
+                topology=[{"kind": "grid", "size": 3, "shape": "torus"}])})
+
+    def test_bad_metric_rejected(self):
+        with pytest.raises(ValueError, match="unknown path metric 'vibes'"):
+            load_spec({"axes": _minimal_axes(metric=["vibes"])})
+
+    def test_bad_formalism_rejected(self):
+        with pytest.raises(ValueError, match="unknown formalism 'qutrit'"):
+            load_spec({"axes": _minimal_axes(formalism=["qutrit"])})
+
+    def test_bad_faults_rejected(self):
+        with pytest.raises(ValueError, match="unknown keys"):
+            load_spec({"axes": _minimal_axes(faults=[{"fail": 1}])})
+        with pytest.raises(ValueError, match="fail_links"):
+            load_spec({"axes": _minimal_axes(faults=[{"fail_links": -1}])})
+        with pytest.raises(ValueError, match="mtbf_s"):
+            load_spec({"axes": _minimal_axes(
+                faults=[{"fail_links": 1, "mtbf_s": 0}])})
+        with pytest.raises(ValueError, match="fail_links > 0"):
+            load_spec({"axes": _minimal_axes(faults=[{"mttr_s": 1.0}])})
+
+    def test_bad_scalars_rejected(self):
+        with pytest.raises(ValueError, match="axis 'circuits'"):
+            load_spec({"axes": _minimal_axes(circuits=[0])})
+        with pytest.raises(ValueError, match="axis 'load'"):
+            load_spec({"axes": _minimal_axes(load=[-0.5])})
+        with pytest.raises(ValueError, match="axis 'seed'"):
+            load_spec({"axes": _minimal_axes(seed=[1.5])})
+        with pytest.raises(ValueError, match="horizon_s"):
+            load_spec({"axes": _minimal_axes(), "horizon_s": 0})
+        with pytest.raises(ValueError, match="target_fidelity"):
+            load_spec({"axes": _minimal_axes(), "target_fidelity": 1.2})
+        # below the routing layer's per-circuit floor: reject at load time
+        with pytest.raises(ValueError, match="target_fidelity"):
+            load_spec({"axes": _minimal_axes(), "target_fidelity": 0.3})
+
+    def test_booleans_are_not_numbers(self):
+        with pytest.raises(ValueError, match="axis 'load'"):
+            load_spec({"axes": _minimal_axes(load=[True])})
+        with pytest.raises(ValueError, match="axis 'circuits'"):
+            load_spec({"axes": _minimal_axes(circuits=[True])})
+        with pytest.raises(ValueError, match="axis 'seed'"):
+            load_spec({"axes": _minimal_axes(seed=[False])})
+        with pytest.raises(ValueError, match="horizon_s"):
+            load_spec({"axes": _minimal_axes(), "horizon_s": True})
+        with pytest.raises(ValueError, match="mtbf_s"):
+            load_spec({"axes": _minimal_axes(
+                faults=[{"fail_links": 1, "mtbf_s": True}])})
+
+    def test_missing_spec_file_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="not found"):
+            load_spec(tmp_path / "ghost.json")
+
+    def test_invalid_json_rejected(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            load_spec(bad)
+
+    def test_workers_validated(self):
+        spec = load_spec({"axes": _minimal_axes()})
+        with pytest.raises(ValueError, match="workers"):
+            run_campaign(spec, workers=0)
+
+
+# ----------------------------------------------------------------------
+# Expansion
+# ----------------------------------------------------------------------
+
+class TestExpansion:
+    def test_defaults_fill_missing_axes(self):
+        spec = load_spec({"axes": {"topology": ["grid:3"]}})
+        cells = spec.expand()
+        assert len(cells) == 1
+        cell = cells[0]
+        assert (cell.topology, cell.size) == ("grid", 3)
+        assert cell.formalism == "dm"
+        assert cell.metric == "hops"
+        assert cell.faults == FaultSpec(fail_links=0)
+
+    def test_cross_product_order_is_deterministic(self):
+        spec = load_spec({"axes": _minimal_axes(
+            topology=["grid:3", "ring:5"], formalism=["dm", "bell"],
+            seed=[1, 2])})
+        cells = spec.expand()
+        assert len(cells) == 8
+        assert [cell.index for cell in cells] == list(range(8))
+        # topology is the outermost axis, seed the innermost
+        assert [cell.topology for cell in cells] == ["grid"] * 4 + ["ring"] * 4
+        assert [cell.seed for cell in cells] == [1, 2] * 4
+        assert cells == load_spec(
+            {"axes": _minimal_axes(topology=["grid:3", "ring:5"],
+                                   formalism=["dm", "bell"],
+                                   seed=[1, 2])}).expand()
+
+    def test_example_grid_meets_acceptance_shape(self):
+        """The shipped grid spec covers the PR's acceptance matrix."""
+        spec = load_spec(EXAMPLES_DIR / "campaign_grid.json")
+        cells = spec.expand()
+        assert len(cells) >= 12
+        assert len({(cell.topology, cell.size) for cell in cells}) >= 2
+        assert len({cell.formalism for cell in cells}) >= 2
+        assert len({cell.metric for cell in cells}) >= 2
+        assert any(cell.faults.fail_links for cell in cells)
+        assert any(not cell.faults.fail_links for cell in cells)
+
+    def test_smoke_spec_is_four_cells(self):
+        spec = load_spec(EXAMPLES_DIR / "campaign_smoke.json")
+        assert len(spec.expand()) == 4
+
+    def test_spec_roundtrips_to_dict(self):
+        spec = load_spec(EXAMPLES_DIR / "campaign_grid.json")
+        data = spec.to_dict()
+        assert set(data["axes"]) == set(AXIS_ORDER)
+        assert load_spec(data).expand() == spec.expand()
+
+
+# ----------------------------------------------------------------------
+# Execution and sharded determinism
+# ----------------------------------------------------------------------
+
+SMOKE_AXES = {"topology": ["ring:5"], "formalism": ["bell"],
+              "metric": ["hops"], "faults": [None, {"fail_links": 1}],
+              "circuits": [2], "load": [0.7], "seed": [7]}
+
+
+def _smoke_spec() -> CampaignSpec:
+    return load_spec({"name": "pin", "axes": SMOKE_AXES,
+                      "horizon_s": 0.3, "drain_s": 0.15})
+
+
+class TestExecution:
+    def test_error_cell_recorded_not_raised(self):
+        # A target fidelity above the link ceiling: every candidate pair
+        # fails routing, installation gives up, and the cell records the
+        # error instead of sinking the campaign.
+        spec = load_spec({"axes": _minimal_axes(),
+                          "target_fidelity": 0.995})
+        result = run_campaign(spec)
+        assert result.failed_cells == 1
+        assert "RuntimeError" in result.results[0].error
+        assert "failed cells" in result.render()
+        assert result.to_payload()["cells"][0]["error"]
+
+    def test_run_cell_is_deterministic(self):
+        cell = _smoke_spec().expand()[1]
+        assert run_cell(cell) == run_cell(cell)
+
+    def test_sharded_run_aggregates_identically_to_serial(self):
+        """The tentpole pin: workers=2 must be byte-identical to serial."""
+        spec = _smoke_spec()
+        serial = run_campaign(spec, workers=1)
+        sharded = run_campaign(spec, workers=2)
+        assert serial.render() == sharded.render()
+        assert (json.dumps(serial.to_payload(), sort_keys=True)
+                == json.dumps(sharded.to_payload(), sort_keys=True))
+        assert serial.completed_cells == 2
+        assert serial.total_pairs > 0
+        faulted = serial.results[1]
+        assert faulted.link_down_events == 1
+        assert faulted.circuits_recovered + faulted.circuits_lost >= 1
+
+    def test_cli_campaign_end_to_end(self, tmp_path, capsys):
+        out = tmp_path / "campaign.json"
+        code = main(["campaign", "--spec",
+                     str(EXAMPLES_DIR / "campaign_smoke.json"),
+                     "--workers", "2", "--out", str(out)])
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "4 cells" in stdout
+        assert "per-cell telemetry" in stdout
+        # every multi-valued axis gets its marginal table (smoke spec
+        # sweeps faults and seed)
+        assert "marginal by faults" in stdout
+        assert "marginal by seed" in stdout
+        payload = json.loads(out.read_text())
+        assert payload["cell_count"] == 4
+        assert payload["completed_cells"] == 4
+        assert payload["totals"]["pairs"] > 0
+        assert len(payload["cells"]) == 4
+        assert "revision" in payload
+
+    def test_cli_rejects_bad_spec_and_workers(self, tmp_path):
+        with pytest.raises(SystemExit, match="bad campaign spec"):
+            main(["campaign", "--spec", str(tmp_path / "ghost.json")])
+        with pytest.raises(SystemExit, match="workers"):
+            main(["campaign", "--spec",
+                  str(EXAMPLES_DIR / "campaign_smoke.json"),
+                  "--workers", "0"])

@@ -13,7 +13,7 @@ import pkgutil
 
 import pytest
 
-PACKAGES = ("repro.control", "repro.traffic")
+PACKAGES = ("repro.campaign", "repro.control", "repro.traffic")
 
 
 def _modules():

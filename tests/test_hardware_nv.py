@@ -7,7 +7,7 @@ import pytest
 
 from repro.hardware import NEAR_TERM, NVDevice, SIMULATION, apply_memory_noise, stamp
 from repro.netsim import S, Simulator
-from repro.quantum import bell_dm, create_pair, pair_fidelity, swap_combine, werner_dm
+from repro.quantum import bell_dm, create_pair, pair_fidelity, swap_combine
 
 
 def make_device(params=SIMULATION, seed=1):

@@ -4,7 +4,7 @@ import pytest
 
 from repro.hardware import HeraldedConnection, NEAR_TERM, SIMULATION, SingleClickModel
 from repro.linklayer import Link
-from repro.netsim import MS, S, Simulator
+from repro.netsim import S, Simulator
 from repro.network import QuantumNode
 from repro.quantum import BellIndex, pair_fidelity
 

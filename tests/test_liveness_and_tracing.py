@@ -4,8 +4,6 @@ import pytest
 
 from repro.analysis import EventLog, attach_trace
 from repro.core import RequestStatus, UserRequest
-from repro.core.messages import Direction, Track
-from repro.netsim import MS, S
 from repro.network.builder import build_chain_network
 
 

@@ -1,7 +1,5 @@
 """Light unit tests: message dataclasses and the Network facade internals."""
 
-import pytest
-
 from repro.core.messages import Complete, Direction, Expire, Forward, Track
 from repro.core.requests import DeliveryStatus, PairDelivery, RequestType
 from repro.network.builder import MatchedPair, Network, _Submission

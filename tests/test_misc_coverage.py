@@ -105,7 +105,7 @@ class TestQnpApi:
         net = build_chain_network(2, seed=70)
         circuit_id = net.establish_circuit("node0", "node1", 0.85,
                                            max_eer=10.0)
-        first = net.submit(circuit_id, UserRequest(rate=9.0))
+        net.submit(circuit_id, UserRequest(rate=9.0))
         queued = net.submit(circuit_id, UserRequest(rate=5.0))
         assert queued.status == RequestStatus.QUEUED
         net.qnps["node0"].cancel(circuit_id, queued.request_id)

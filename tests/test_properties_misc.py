@@ -1,7 +1,5 @@
 """Hypothesis property tests for the kernel and protocol data structures."""
 
-import heapq
-
 from hypothesis import given, settings, strategies as st
 
 from repro.analysis import Cdf

@@ -5,8 +5,6 @@ records, expiry notifications to end-nodes, the end-node no-cutoff rule,
 and the fidelity impact of short memory lifetimes.
 """
 
-import pytest
-
 from repro.core import RequestStatus, UserRequest
 from repro.hardware import SIMULATION
 from repro.netsim.units import MS, S

@@ -8,7 +8,6 @@ from repro.core import (
     RequestType,
     UserRequest,
 )
-from repro.hardware import NEAR_TERM, SIMULATION
 from repro.netsim.units import MS, S
 from repro.network.builder import (
     build_chain_network,

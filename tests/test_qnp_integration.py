@@ -4,11 +4,8 @@ Every test drives the complete stack: heralded link generation → link layer
 → QNP rules → swaps → tracking → delivery, over real simulated hardware.
 """
 
-import pytest
-
 from repro.core import DeliveryStatus, RequestStatus, RequestType, UserRequest
-from repro.hardware import SIMULATION
-from repro.netsim.units import MS, S
+from repro.netsim.units import S
 from repro.network.builder import build_chain_network, build_dumbbell_network
 from repro.quantum import BellIndex
 

@@ -1,7 +1,6 @@
 """Property tests pinning the closed-form analytics to the exact engine."""
 
 import math
-import random
 
 import numpy as np
 import pytest

@@ -7,7 +7,7 @@ explicit diff, not a silent drift of every benchmark.
 
 import pytest
 
-from repro.netsim.units import MS, S
+from repro.netsim.units import MS
 from repro.network.builder import build_chain_network, build_dumbbell_network
 
 

@@ -4,7 +4,6 @@ import random
 
 import pytest
 
-from repro.core import UserRequest
 from repro.network.builder import build_chain_network
 from repro.quantum import (
     NoisyOpParams,
