@@ -102,6 +102,36 @@ def newest_baseline(root: Path = REPO_ROOT,
                key=lambda path: (path.stat().st_mtime, path.name))
 
 
+#: Formalism-ratio floors enforced by ``--check-speedups``: the fresh
+#: payload's ``speedup_bell_over_dm[op]`` must reach the floor.  The fast
+#: Bell-diagonal formalism being *slower* than the exact engine on a state
+#: heavy op is a regression by construction (BENCH_c001c5d.json recorded
+#: exactly that for the old link-generation op before it was rebuilt to
+#: measure delivery work); the floors keep it from reappearing silently.
+SPEEDUP_FLOORS = {
+    "bsm": 5.0,
+    "link_delivery_round": 1.0,
+    "traffic_round": 1.0,
+}
+
+
+def check_speedups(fresh: dict, floors: dict | None = None) -> list[str]:
+    """Speedup-floor violations in a fresh payload (empty list = pass).
+
+    Ops absent from the payload's ``speedup_bell_over_dm`` section are
+    skipped — ``run_bench.py --only`` subsets legitimately omit them.
+    """
+    floors = SPEEDUP_FLOORS if floors is None else floors
+    speedups = fresh.get("speedup_bell_over_dm") or {}
+    failures = []
+    for op, floor in sorted(floors.items()):
+        value = speedups.get(op)
+        if value is not None and value < floor:
+            failures.append(f"{op}: bell/dm speedup {value:.2f} is below "
+                            f"the floor {floor:g}")
+    return failures
+
+
 def compare(baseline: dict, fresh: dict,
             threshold: float = 3.0) -> tuple[list[dict], list[str]]:
     """Compare two bench payloads op by op.
@@ -166,6 +196,10 @@ def main(argv=None) -> int:
                              " baseline cannot neutralise the gate)")
     parser.add_argument("--threshold", type=float, default=3.0,
                         help="fail when fresh/baseline exceeds this factor")
+    parser.add_argument("--check-speedups", action="store_true",
+                        help="also enforce the bell-vs-dm speedup floors"
+                             " (bell must never be slower than dm on the"
+                             " gated ops)")
     args = parser.parse_args(argv)
 
     exclude = changed_since(args.base) if args.base else frozenset()
@@ -175,12 +209,22 @@ def main(argv=None) -> int:
     rows, regressions = compare(baseline, fresh, threshold=args.threshold)
     print(render(rows, Path(baseline_path).name, args.fresh.name,
                  args.threshold))
+    failed = False
     if regressions:
         print(f"\nFAIL: {len(regressions)} op(s) regressed beyond "
               f"{args.threshold:g}x: {', '.join(regressions)}")
-        return 1
-    print("\nOK: no tracked op regressed beyond the threshold")
-    return 0
+        failed = True
+    else:
+        print("\nOK: no tracked op regressed beyond the threshold")
+    if args.check_speedups:
+        violations = check_speedups(fresh)
+        if violations:
+            print("FAIL: formalism speedup floors violated: "
+                  + "; ".join(violations))
+            failed = True
+        else:
+            print("OK: bell-vs-dm speedup floors hold")
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

@@ -1,0 +1,75 @@
+"""The application service layer: SLO-scored consumers of delivered pairs.
+
+``repro.apps`` closes the loop the paper opens in Sec 3.1: virtual
+circuits exist to feed applications, so every traffic session can carry
+an *app type* and every delivered pair flows into a per-circuit consumer
+that produces application-level outcomes and SLO verdicts.  Four
+services ship behind one :class:`~repro.apps.base.AppService` protocol:
+
+* ``qkd`` — BBM92 sifting into secret-key rate and QBER
+  (:mod:`repro.apps.qkd`),
+* ``distil`` — consecutive deliveries paired through DEJMPS, scored by
+  fidelity gain over the raw circuit (:mod:`repro.apps.distil`),
+* ``teleport`` — per-delivery Pauli-frame corrections and average
+  teleported fidelity (:mod:`repro.apps.teleport`),
+* ``certify`` — sampled fidelity-test probe rounds interleaved with
+  payload (:mod:`repro.apps.certify`).
+
+Entry points: ``TrafficEngine(apps=[...])``, the campaign ``app`` axis,
+``python -m repro traffic --apps qkd,distil`` and
+``python -m repro apps --demo``.
+"""
+
+from .base import (
+    AppContext,
+    AppOutcome,
+    AppService,
+    AppSummary,
+    HEADLINE_METRICS,
+    app_names,
+    get_app,
+    register_app,
+    summarise_apps,
+)
+from .certify import CertifyApp
+from .distil import DistilApp
+from .qkd import QKDApp
+from .slo import (
+    CLASSICAL_TELEPORT_FIDELITY,
+    QKD_DEMAND_FIDELITY,
+    QKD_MAX_QBER,
+    QKD_THRESHOLD_FIDELITY,
+    SLOCheck,
+    SLOTarget,
+    SLOVerdict,
+    evaluate_slo,
+    teleport_fidelity,
+    werner_qber,
+)
+from .teleport import TeleportApp
+
+__all__ = [
+    "AppContext",
+    "AppOutcome",
+    "AppService",
+    "AppSummary",
+    "CLASSICAL_TELEPORT_FIDELITY",
+    "CertifyApp",
+    "DistilApp",
+    "HEADLINE_METRICS",
+    "QKDApp",
+    "QKD_DEMAND_FIDELITY",
+    "QKD_MAX_QBER",
+    "QKD_THRESHOLD_FIDELITY",
+    "SLOCheck",
+    "SLOTarget",
+    "SLOVerdict",
+    "TeleportApp",
+    "app_names",
+    "evaluate_slo",
+    "get_app",
+    "register_app",
+    "summarise_apps",
+    "teleport_fidelity",
+    "werner_qber",
+]

@@ -1,0 +1,89 @@
+"""Fidelity certification as a traffic application service.
+
+The network cannot read fidelity (Sec 4.1), so a service that must
+*certify* its circuit interleaves test rounds with payload: every
+``probe_every``-th delivery is sacrificed as a probe — both end-points
+measure in the same basis (alternating Z and X) and the correlation is
+checked against the delivered Bell-state information, exactly the
+:mod:`repro.services.fidelity_test` method applied in-stream.  The
+accumulated error rates bound the fidelity of the untouched payload
+pairs from the same circuit.
+"""
+
+from __future__ import annotations
+
+from ..services.fidelity_test import FidelityEstimate, expected_xor
+from .base import AppContext, AppService, register_app
+from .slo import SLOTarget
+
+
+@register_app
+class CertifyApp(AppService):
+    """Sampled probe rounds certifying the circuit's payload fidelity."""
+
+    name = "certify"
+    headline_metric = "fidelity_lower_bound"
+    slo_targets = (
+        SLOTarget("probe_pass_rate", 0.75, ">="),
+        SLOTarget("probe_rounds", 2, ">="),
+    )
+
+    #: Every Nth delivery becomes a probe; the rest are payload.
+    probe_every = 4
+
+    def __init__(self, ctx: AppContext):
+        super().__init__(ctx)
+        self.payload_rounds = 0
+        self._passes = 0
+        # basis → [errors, rounds]
+        self._results = {"Z": [0, 0], "X": [0, 0]}
+
+    def consume(self, pair) -> bool:
+        """Sacrifice every Nth pair as a same-basis probe round."""
+        self.pairs_consumed += 1
+        if (self.pairs_consumed - 1) % self.probe_every:
+            self.payload_rounds += 1
+            return False  # payload: the façade consumes it
+        probe_index = (self.pairs_consumed - 1) // self.probe_every
+        basis = "Z" if probe_index % 2 == 0 else "X"
+        head_bit, _ = self.ctx.head_device.measure(
+            pair.head_delivery.qubit, basis)
+        tail_bit, _ = self.ctx.tail_device.measure(
+            pair.tail_delivery.qubit, basis)
+        expected = expected_xor(int(pair.head_delivery.bell_state), basis)
+        tally = self._results[basis]
+        tally[1] += 1
+        if (head_bit ^ tail_bit) != expected:
+            tally[0] += 1
+        else:
+            self._passes += 1
+        return True  # probe: measured out by the app
+
+    def estimate(self) -> FidelityEstimate:
+        """The accumulated probe statistics as a fidelity bound."""
+        error_z = (self._results["Z"][0] / self._results["Z"][1]
+                   if self._results["Z"][1] else 0.0)
+        error_x = (self._results["X"][0] / self._results["X"][1]
+                   if self._results["X"][1] else 0.0)
+        return FidelityEstimate(
+            fidelity_lower_bound=max(0.0, 1.0 - error_z - error_x),
+            error_rate_z=error_z,
+            error_rate_x=error_x,
+            rounds_z=self._results["Z"][1],
+            rounds_x=self._results["X"][1],
+        )
+
+    def metrics(self) -> dict:
+        """Probe statistics, the fidelity bound and the pass rate."""
+        estimate = self.estimate()
+        probes = estimate.rounds_z + estimate.rounds_x
+        return {
+            "probe_rounds": probes,
+            "payload_rounds": self.payload_rounds,
+            "probe_pass_rate": round(self._passes / probes, 6)
+            if probes else 0.0,
+            "error_rate_z": round(estimate.error_rate_z, 6),
+            "error_rate_x": round(estimate.error_rate_x, 6),
+            "fidelity_lower_bound": round(estimate.fidelity_lower_bound, 6),
+            "standard_error": round(estimate.standard_error(), 6),
+        }

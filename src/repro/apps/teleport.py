@@ -1,0 +1,70 @@
+"""State-transmission (teleportation) as a traffic application service.
+
+The "create and keep" consumer: each delivered pair is a teleportation
+resource.  The delivered Bell-state information dictates the Pauli-frame
+correction the receiver would apply (Φ+ needs none, Ψ+ an X, Φ− a Z,
+Ψ− both — exactly the ``final_state`` machinery's frame), and the
+ground-truth pair fidelity maps to the average fidelity of the
+teleported state through ``F_tele = (2F + 1)/3``.
+
+Everything here is arithmetic on the delivery record — no extra quantum
+operations — so the service behaves identically on the ``dm`` and
+``bell`` formalisms, and its per-pair cost is O(1) on both.
+"""
+
+from __future__ import annotations
+
+from ..analysis.stats import mean
+from .base import AppContext, AppService, register_app
+from .slo import CLASSICAL_TELEPORT_FIDELITY, SLOTarget, teleport_fidelity
+
+#: Pauli-frame labels by Bell index (phase bit, parity bit).
+FRAME_LABELS = {0: "I", 1: "X", 2: "Z", 3: "XZ"}
+
+
+@register_app
+class TeleportApp(AppService):
+    """Score each delivery as a teleportation channel use."""
+
+    name = "teleport"
+    headline_metric = "teleported_fidelity"
+    #: The stream must beat what no entanglement could do: the classical
+    #: measure-and-reconstruct bound of 2/3.  (A bound tied to the run's
+    #: own fidelity target would sit exactly at the measured mean — the
+    #: routing budget is approximately tight — and turn the verdict into
+    #: a coin flip.)
+    slo_targets = (SLOTarget("teleported_fidelity",
+                             round(CLASSICAL_TELEPORT_FIDELITY, 6), ">"),)
+
+    def __init__(self, ctx: AppContext):
+        super().__init__(ctx)
+        self._teleported: list[float] = []
+        self._frames = {label: 0 for label in FRAME_LABELS.values()}
+
+    def consume(self, pair) -> bool:
+        """Record the Pauli correction frame and the teleported fidelity."""
+        self.pairs_consumed += 1
+        frame = FRAME_LABELS[int(pair.head_delivery.bell_state) & 0b11]
+        self._frames[frame] += 1
+        if pair.fidelity is not None:
+            self._teleported.append(teleport_fidelity(pair.fidelity))
+        return False  # the façade consumes the qubits as usual
+
+    def metrics(self) -> dict:
+        """Mean teleported fidelity plus the correction-frame census."""
+        corrected = self.pairs_consumed - self._frames["I"]
+        metrics = {
+            "states_teleported": self.pairs_consumed,
+            "corrections_applied": corrected,
+            "correction_rate": round(corrected / self.pairs_consumed, 6)
+            if self.pairs_consumed else 0.0,
+        }
+        for label, count in self._frames.items():
+            metrics[f"frame_{label}"] = count
+        if self._teleported:
+            metrics["teleported_fidelity"] = round(mean(self._teleported), 6)
+            # What the circuit's own fidelity target would promise — shown
+            # alongside the measured mean so the headroom is visible.
+            metrics["target_teleported_fidelity"] = round(
+                teleport_fidelity(self.ctx.target_fidelity), 6)
+        return metrics

@@ -115,13 +115,13 @@ class CampaignResult:
             if result.error:
                 rows.append([result.index, cell.topology, cell.size,
                              cell.formalism, cell.metric,
-                             cell.faults.label(), cell.seed,
-                             "ERROR", "-", "-", "-", "-"])
+                             cell.faults.label(), cell.app or "-",
+                             cell.seed, "ERROR", "-", "-", "-", "-"])
                 continue
             rows.append([
                 result.index, cell.topology, cell.size, cell.formalism,
-                cell.metric, cell.faults.label(), cell.seed,
-                result.sessions, result.pairs,
+                cell.metric, cell.faults.label(), cell.app or "-",
+                cell.seed, result.sessions, result.pairs,
                 f"{result.throughput_pairs_per_s:.2f}",
                 ("-" if result.mean_fidelity is None
                  else f"{result.mean_fidelity:.4f}"),
@@ -129,31 +129,56 @@ class CampaignResult:
             ])
         return render_table(
             ["cell", "topology", "size", "formalism", "metric", "faults",
-             "seed", "sessions", "pairs", "pairs/s", "mean F", "rec/lost"],
+             "app", "seed", "sessions", "pairs", "pairs/s", "mean F",
+             "rec/lost"],
             rows, title="per-cell telemetry")
 
     def _render_marginal(self, axis: str) -> str:
-        """Aggregate the grid down one axis (mean over the other axes)."""
+        """Aggregate the grid down one axis (mean over the other axes).
+
+        The ``app`` marginal additionally rolls up the application-level
+        telemetry: consumed pairs, SLO attainment and the app's headline
+        metric (apps differ in what that metric *is*, so it renders as a
+        bare mean per app value).
+        """
         groups: dict[str, list] = {}
         for cell, result in zip(self.cells, self.results):
             if result.error:
                 continue
             groups.setdefault(self._axis_value_label(axis, cell),
                               []).append(result)
+        # The app columns reuse the artifact's own rollup so the rendered
+        # marginal can never disagree with the CAMPAIGN_<rev>.json "apps"
+        # section (both views group the same non-error cells).
+        per_app = self.per_app() if axis == "app" else {}
         rows = []
         for label, members in groups.items():
             fidelities = [result.mean_fidelity for result in members
                           if result.mean_fidelity is not None]
-            rows.append([
+            row = [
                 label, len(members),
                 f"{mean([r.throughput_pairs_per_s for r in members]):.2f}",
                 ("-" if not fidelities else f"{mean(fidelities):.4f}"),
                 sum(result.sessions_recovered for result in members),
                 sum(result.sessions_lost for result in members),
-            ])
-        return render_table(
-            [axis, "cells", "mean pairs/s", "mean F", "rec", "lost"],
-            rows, title=f"marginal by {axis}")
+            ]
+            if axis == "app":
+                entry = per_app.get(label)
+                if entry is None:  # the app-less "-" value of the axis
+                    row.extend([0, "-", "-"])
+                else:
+                    row.extend([
+                        entry["pairs_consumed"],
+                        (f"{entry['circuits_slo_met']}"
+                         f"/{entry['circuits']}"),
+                        ("-" if entry["mean_headline"] is None
+                         else f"{entry['mean_headline']:.4f}"),
+                    ])
+            rows.append(row)
+        header = [axis, "cells", "mean pairs/s", "mean F", "rec", "lost"]
+        if axis == "app":
+            header.extend(["app pairs", "SLO met", "headline"])
+        return render_table(header, rows, title=f"marginal by {axis}")
 
     @staticmethod
     def _axis_value_label(axis: str, cell: CampaignCell) -> str:
@@ -161,9 +186,32 @@ class CampaignResult:
             return f"{cell.topology}:{cell.size}"
         if axis == "faults":
             return cell.faults.label()
+        if axis == "app":
+            return cell.app or "-"
         return str(getattr(cell, axis))
 
     # -- serialisation ---------------------------------------------------
+
+    def per_app(self) -> dict:
+        """Per-app rollup across the grid (the ``app`` axis marginal)."""
+        apps: dict[str, dict] = {}
+        for result in self.results:
+            if result.error or not result.app:
+                continue
+            entry = apps.setdefault(result.app, {
+                "cells": 0, "pairs_consumed": 0, "circuits": 0,
+                "circuits_slo_met": 0, "_headlines": []})
+            entry["cells"] += 1
+            entry["pairs_consumed"] += result.app_pairs
+            entry["circuits"] += result.app_circuits
+            entry["circuits_slo_met"] += result.app_circuits_met
+            if result.app_headline is not None:
+                entry["_headlines"].append(result.app_headline)
+        for entry in apps.values():
+            headlines = entry.pop("_headlines")
+            entry["mean_headline"] = (None if not headlines
+                                      else round(mean(headlines), 4))
+        return dict(sorted(apps.items()))
 
     def to_payload(self) -> dict:
         """The machine-readable campaign artifact (JSON-ready dict)."""
@@ -177,6 +225,7 @@ class CampaignResult:
                 "sessions": self.total_sessions,
                 "pairs": self.total_pairs,
             },
+            "apps": self.per_app(),
             "cells": [result.to_dict() for result in self.results],
         }
 

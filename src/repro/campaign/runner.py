@@ -59,6 +59,15 @@ class CellResult:
     sessions_recovered: int
     sessions_lost: int
     route_computations: int
+    #: The cell's application service ("" for app-less cells).
+    app: str = ""
+    #: Pairs the app consumed across the cell's circuits.
+    app_pairs: int = 0
+    #: Circuits whose app session met every SLO objective / circuits run.
+    app_circuits_met: int = 0
+    app_circuits: int = 0
+    #: Mean of the app's headline metric over the cell's circuits.
+    app_headline: Optional[float] = None
     #: Non-empty when the cell failed; every telemetry field is then 0.
     error: str = ""
 
@@ -86,6 +95,12 @@ class CellResult:
             "sessions_recovered": self.sessions_recovered,
             "sessions_lost": self.sessions_lost,
             "route_computations": self.route_computations,
+            "app": self.app,
+            "app_pairs": self.app_pairs,
+            "app_circuits_met": self.app_circuits_met,
+            "app_circuits": self.app_circuits,
+            "app_headline": (None if self.app_headline is None
+                             else round(self.app_headline, 4)),
             "error": self.error,
         }
 
@@ -103,11 +118,13 @@ def run_cell(cell: CampaignCell) -> CellResult:
             net, circuits=cell.circuits, load=cell.load,
             target_fidelity=cell.target_fidelity, seed=cell.seed,
             metric=cell.metric, fail_links=cell.faults.fail_links,
-            mtbf_s=cell.faults.mtbf_s, mttr_s=cell.faults.mttr_s)
+            mtbf_s=cell.faults.mtbf_s, mttr_s=cell.faults.mttr_s,
+            apps=None if cell.app is None else [cell.app])
         report = engine.run(horizon_s=cell.horizon_s, drain_s=cell.drain_s)
     except (ValueError, RuntimeError) as exc:
         return _error_result(cell, f"{type(exc).__name__}: {exc}")
     recovery = report.recovery
+    summary = report.app_summaries.get(cell.app) if cell.app else None
     return CellResult(
         index=cell.index,
         label=cell.label(),
@@ -129,6 +146,11 @@ def run_cell(cell: CampaignCell) -> CellResult:
         sessions_recovered=(recovery.sessions_recovered if recovery else 0),
         sessions_lost=(recovery.sessions_lost if recovery else 0),
         route_computations=(recovery.route_computations if recovery else 0),
+        app=cell.app or "",
+        app_pairs=summary.pairs_consumed if summary else 0,
+        app_circuits_met=summary.circuits_met if summary else 0,
+        app_circuits=summary.circuits if summary else 0,
+        app_headline=summary.headline if summary else None,
     )
 
 

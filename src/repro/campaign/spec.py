@@ -22,8 +22,9 @@ a study is data, not a hand-written ``bench_*`` script::
 Axis values draw their vocabulary from the subsystems the cells execute:
 ``topology`` from :data:`repro.traffic.topologies.TOPOLOGIES`,
 ``formalism`` from :data:`repro.quantum.backends.FORMALISMS`, ``metric``
-from :data:`repro.control.routing.PATH_METRICS` and ``faults`` from the
-keyword surface of :func:`repro.traffic.faults.fault_schedule`.  Every
+from :data:`repro.control.routing.PATH_METRICS`, ``faults`` from the
+keyword surface of :func:`repro.traffic.faults.fault_schedule` and
+``app`` from the :mod:`repro.apps` registry (``null`` = app-less).  Every
 validation failure raises :class:`ValueError` naming the offending axis
 and the accepted vocabulary; expansion order is deterministic (the fixed
 ``AXIS_ORDER``, values in spec order), which is what makes sharded runs
@@ -38,19 +39,21 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional, Union
 
+from ..apps import app_names
 from ..control.routing import PATH_METRICS
 from ..quantum.backends import FORMALISMS
 from ..traffic.topologies import TOPOLOGIES
 
 #: Cross-product expansion order (outermost axis first).
-AXIS_ORDER = ("topology", "formalism", "metric", "faults", "circuits",
-              "load", "seed")
+AXIS_ORDER = ("topology", "formalism", "metric", "faults", "app",
+              "circuits", "load", "seed")
 
 #: Axes that may be omitted, and the single-value default they get.
 AXIS_DEFAULTS = {
     "formalism": ["dm"],
     "metric": ["hops"],
     "faults": [None],
+    "app": [None],
     "circuits": [4],
     "load": [0.7],
     "seed": [0],
@@ -94,6 +97,8 @@ class CampaignCell:
     formalism: str
     metric: str
     faults: FaultSpec
+    #: Application service every circuit of the cell runs (None = none).
+    app: Optional[str]
     circuits: int
     load: float
     seed: int
@@ -104,7 +109,8 @@ class CampaignCell:
     def label(self) -> str:
         """Human-readable cell tag used in report tables."""
         return (f"{self.topology}:{self.size} {self.formalism} "
-                f"{self.metric} {self.faults.label()} s{self.seed}")
+                f"{self.metric} {self.faults.label()} "
+                f"{self.app or '-'} s{self.seed}")
 
 
 @dataclass(frozen=True)
@@ -127,12 +133,13 @@ class CampaignSpec:
         cells = []
         for values in itertools.product(*(self.axes[axis]
                                           for axis in AXIS_ORDER)):
-            topology, formalism, metric, faults, circuits, load, seed = values
+            (topology, formalism, metric, faults, app, circuits, load,
+             seed) = values
             kind, size = topology
             cells.append(CampaignCell(
                 index=len(cells), topology=kind, size=size,
                 formalism=formalism, metric=metric, faults=faults,
-                circuits=circuits, load=load, seed=seed,
+                app=app, circuits=circuits, load=load, seed=seed,
                 horizon_s=self.horizon_s, drain_s=drain,
                 target_fidelity=self.target_fidelity))
         return cells
@@ -245,6 +252,15 @@ def _validate_axis_value(axis: str, value):
         return value
     if axis == "faults":
         return _parse_faults(value)
+    if axis == "app":
+        if value is None:
+            return None
+        names = app_names()
+        if value not in names:
+            raise ValueError(
+                f"axis 'app': unknown app {value!r} "
+                f"(have: {', '.join(names)}, or null for app-less cells)")
+        return value
     if axis == "circuits":
         if not isinstance(value, int) or isinstance(value, bool) or value < 1:
             raise ValueError(

@@ -9,7 +9,10 @@ Usage::
     python -m repro trace --pairs 2
     python -m repro traffic --topology grid --size 4 --circuits 8 --load 0.7
     python -m repro traffic --metric utilisation --fail-links 2 --seed 7
+    python -m repro traffic --apps qkd,distil,teleport,certify
     python -m repro campaign --spec examples/campaign_grid.json --workers 4
+    python -m repro campaign --spec spec.json --apps qkd,teleport
+    python -m repro apps --demo
 
 ``--formalism bell`` runs any scenario on the fast Bell-diagonal state
 backend instead of the exact density-matrix engine — see DESIGN.md for when
@@ -96,6 +99,23 @@ def _cmd_near_term(args: argparse.Namespace) -> int:
     return 0 if handle.delivered else 1
 
 
+def _parse_apps(text):
+    """Validate a ``--apps`` comma list against the app registry."""
+    from .apps import get_app
+
+    if text is None:
+        return None
+    names = [name.strip() for name in text.split(",") if name.strip()]
+    if not names:
+        raise SystemExit("--apps needs at least one app name")
+    for name in names:
+        try:
+            get_app(name)
+        except ValueError as exc:
+            raise SystemExit(f"bad --apps: {exc}")
+    return names
+
+
 def _cmd_traffic(args: argparse.Namespace) -> int:
     from .traffic import TOPOLOGIES, TrafficEngine, build_topology
 
@@ -111,6 +131,7 @@ def _cmd_traffic(args: argparse.Namespace) -> int:
         raise SystemExit("--mtbf must be positive")
     if args.mttr is not None and args.mttr <= 0:
         raise SystemExit("--mttr must be positive")
+    apps = _parse_apps(args.apps)
     net = build_topology(args.topology, args.size, seed=args.seed,
                          formalism=args.formalism)
     print(f"topology {args.topology} size {args.size}: "
@@ -119,14 +140,15 @@ def _cmd_traffic(args: argparse.Namespace) -> int:
     engine = TrafficEngine(net, circuits=args.circuits, load=args.load,
                            target_fidelity=args.fidelity, seed=args.seed,
                            metric=args.metric, fail_links=args.fail_links,
-                           mtbf_s=args.mtbf, mttr_s=args.mttr)
+                           mtbf_s=args.mtbf, mttr_s=args.mttr, apps=apps)
     engine.install()
     print(f"installed {len(engine.circuits)} circuits "
           f"(metric {args.metric}, max link share "
           f"{engine.max_link_share:.2f}); running "
           f"{args.horizon:.1f} s of traffic at load {args.load:.2f}"
           + (f" with {args.fail_links} link failures" if args.fail_links
-             else "") + "...")
+             else "")
+          + (f", apps {','.join(apps)}" if apps else "") + "...")
     # --timeout caps the post-horizon drain of in-flight sessions (the
     # horizon itself is --horizon, same as every other subcommand's
     # simulated budget).
@@ -134,6 +156,9 @@ def _cmd_traffic(args: argparse.Namespace) -> int:
                         drain_s=min(args.horizon, args.timeout))
     print()
     print(report.render())
+    if getattr(args, "app_details", False) and report.apps:
+        print()
+        print(report.render_app_details())
     return 0 if report.total_confirmed_pairs > 0 else 1
 
 
@@ -148,6 +173,14 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         spec = load_spec(args.spec)
     except ValueError as exc:
         raise SystemExit(f"bad campaign spec: {exc}")
+    apps = _parse_apps(args.apps)
+    if apps:
+        # Inject/override the app axis: --apps qkd,distil sweeps the
+        # spec's grid over those apps (spec.to_dict round-trips, so the
+        # rest of the spec is untouched).
+        data = spec.to_dict()
+        data["axes"]["app"] = apps
+        spec = load_spec(data)
     cells = spec.expand()
     print(f"campaign {spec.name}: {len(cells)} cells, "
           f"{args.workers} worker(s)")
@@ -159,6 +192,35 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     result.write_json(out, revision=revision)
     print(f"\nwrote {out}")
     return 0 if result.completed_cells > 0 else 1
+
+
+def _cmd_apps(args: argparse.Namespace) -> int:
+    from .apps import HEADLINE_METRICS, app_names, get_app
+
+    if args.demo:
+        # The acceptance demo: the seed-7 grid workload with every app
+        # assigned round-robin, plus the long-form per-circuit metrics.
+        args.topology, args.size = "grid", 4
+        args.circuits, args.load = 8, 0.7
+        args.fidelity, args.horizon = 0.7, 2.0
+        args.metric, args.fail_links = "hops", 0
+        args.mtbf = args.mttr = None
+        args.seed = 7
+        args.apps = "qkd,distil,teleport,certify"
+        args.app_details = True
+        return _cmd_traffic(args)
+    print("registered application services:")
+    for name in app_names():
+        app_type = get_app(name)
+        demand = (f"demands F >= {app_type.min_fidelity:g}"
+                  if app_type.min_fidelity else "no fidelity demand")
+        targets = "; ".join(target.label()
+                            for target in app_type.slo_targets)
+        print(f"  {name:10s} headline: {HEADLINE_METRICS[name]:22s} "
+              f"{demand}; SLO: {targets}")
+    print("\nrun one with: python -m repro traffic --apps "
+          + ",".join(app_names()) + "  (or: python -m repro apps --demo)")
+    return 0
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -272,7 +334,21 @@ def build_parser() -> argparse.ArgumentParser:
     traffic.add_argument("--mttr", type=float, default=None,
                          help="time to repair a failed link (simulated s;"
                               " default: a quarter of the horizon)")
+    traffic.add_argument("--apps", default=None,
+                         help="comma-separated application services"
+                              " assigned to circuits round-robin (e.g."
+                              " 'qkd,distil,teleport,certify'); the report"
+                              " gains a per-app SLO section")
     traffic.set_defaults(fn=_cmd_traffic)
+
+    apps = sub.add_parser(
+        "apps", help="application service layer: list apps or run the demo",
+        parents=[formalism_flag])
+    apps.add_argument("--demo", action="store_true",
+                      help="run the canned seed-7 demo (grid:4, 8 circuits,"
+                           " all four apps round-robin) and print the SLO"
+                           " section plus per-circuit app metrics")
+    apps.set_defaults(fn=_cmd_apps)
 
     campaign = sub.add_parser(
         "campaign", help="declarative scenario grid, sharded across cores")
@@ -287,6 +363,10 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--out", default=None,
                           help="artifact path (default: CAMPAIGN_<rev>.json"
                                " in the current directory)")
+    campaign.add_argument("--apps", default=None,
+                          help="comma-separated app names injected as the"
+                               " spec's 'app' axis (overrides any app axis"
+                               " the spec declares)")
     campaign.set_defaults(fn=_cmd_campaign)
     return parser
 

@@ -123,6 +123,9 @@ class Link(Entity):
         goodness = self.model.fidelity(alpha)
         existing = self._requests.get(purpose_id)
         if existing is not None and existing.active:
+            if existing.alpha != alpha:
+                existing.make_pair = self.backend.link_pair_factory(
+                    self.model, alpha)
             existing.min_fidelity = min_fidelity
             existing.alpha = alpha
             existing.log_miss = log_miss
@@ -135,6 +138,7 @@ class Link(Entity):
             state = LinkRequestState(
                 purpose_id=purpose_id, min_fidelity=min_fidelity,
                 alpha=alpha, lpr=lpr, log_miss=log_miss, goodness=goodness,
+                make_pair=self.backend.link_pair_factory(self.model, alpha),
                 endorsers=None if endorser is None else {endorser})
             pending = self._pending_endorsements.pop(purpose_id, set())
             if state.endorsers is not None:
@@ -359,10 +363,10 @@ class Link(Entity):
         bell_index = BellIndex.PSI_PLUS if sample_index < 0.5 else BellIndex.PSI_MINUS
         correlator = (self.name, next(self._seq))
         stem = f"{self.name}:{correlator[1]}@"
-        qubit_a, qubit_b = self.backend.create_link_pair(
-            self.model, request.alpha, bell_index,
-            name_a=stem + self.node_a.name,
-            name_b=stem + self.node_b.name)
+        qubit_a, qubit_b = request.make_pair(
+            bell_index,
+            stem + self.node_a.name,
+            stem + self.node_b.name)
         self.node_a.device.adopt_comm_qubit(qubit_a)
         self.node_b.device.adopt_comm_qubit(qubit_b)
         slot_a.commit(qubit_a, correlator)

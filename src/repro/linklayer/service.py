@@ -16,7 +16,7 @@ and a goodness estimate; requests are expressed through
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Optional
 
 from ..quantum.bell import BellIndex
 from ..quantum.qubit import Qubit
@@ -55,6 +55,10 @@ class LinkRequestState:
     #: produced-fidelity estimate reported as delivery goodness.
     log_miss: float = 0.0
     goodness: float = 0.0
+    #: Per-α pair materialiser prebound by the EGP
+    #: (:meth:`repro.quantum.backends.Backend.link_pair_factory`) so
+    #: delivery skips the per-pair produced-state memo lookups.
+    make_pair: Optional[Callable] = None
     active: bool = True
     pairs_delivered: int = field(default=0)
     #: Node names that have endorsed this request.  Generation only starts

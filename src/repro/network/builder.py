@@ -68,6 +68,9 @@ class _Submission:
     matched: list = field(default_factory=list)
     oracle_min_fidelity: Optional[float] = None
     record_fidelity: bool = False
+    #: Evaluation-side consumer invoked with each :class:`MatchedPair`
+    #: (application services); a truthy return takes qubit ownership.
+    on_matched: Optional[object] = None
     _pending: dict = field(default_factory=dict)
 
 
@@ -344,14 +347,20 @@ class Network:
 
     def submit(self, circuit_id: str, request: UserRequest,
                oracle_min_fidelity: Optional[float] = None,
-               record_fidelity: bool = False) -> RequestHandle:
+               record_fidelity: bool = False,
+               on_matched=None) -> RequestHandle:
         """Submit a request at a circuit's head-end.
 
         ``record_fidelity`` matches head/tail deliveries and reads the
         ground-truth pair fidelity from the simulation; this is for
         evaluation only (the network cannot do it).  ``oracle_min_fidelity``
         additionally marks pairs below the threshold as rejected — the
-        "simpler protocol" baseline of Fig 10.
+        "simpler protocol" baseline of Fig 10.  ``on_matched`` registers an
+        application-service consumer: it is called with each
+        :class:`MatchedPair` the moment both halves were seen (fidelity
+        already recorded), and a truthy return means the consumer took
+        ownership of the pair's qubits — the façade then skips its own
+        state cleanup for that pair.
         """
         route = self.route_of(circuit_id)
         head, tail = route.path[0], route.path[-1]
@@ -360,7 +369,10 @@ class Network:
         submission = _Submission(
             handle=None,  # type: ignore[arg-type]
             oracle_min_fidelity=oracle_min_fidelity,
-            record_fidelity=record_fidelity or oracle_min_fidelity is not None,
+            record_fidelity=(record_fidelity
+                             or oracle_min_fidelity is not None
+                             or on_matched is not None),
+            on_matched=on_matched,
         )
         self.qnps[tail].register_application(
             tail_id, lambda delivery: self._on_tail_delivery(submission, delivery))
@@ -405,12 +417,19 @@ class Network:
         matched = MatchedPair(pair_id=delivery.pair_id,
                               head_delivery=head_delivery,
                               tail_delivery=tail_delivery)
-        if head_delivery.qubit is not None and tail_delivery.qubit is not None:
+        has_qubits = (head_delivery.qubit is not None
+                      and tail_delivery.qubit is not None)
+        if has_qubits:
             matched.fidelity = pair_fidelity(
                 head_delivery.qubit, tail_delivery.qubit,
                 int(head_delivery.bell_state))
             if submission.oracle_min_fidelity is not None:
                 matched.accepted = matched.fidelity >= submission.oracle_min_fidelity
+        # Hand the pair to the application service first: it may measure
+        # or buffer the qubits (truthy return = it owns them now).
+        owned = (submission.on_matched is not None
+                 and bool(submission.on_matched(matched)))
+        if has_qubits and not owned:
             # Consume the pair so long runs do not accumulate state.
             # Either side's state may already be gone: removing one half can
             # drop its partner, and under heavy traffic a cutoff discard can

@@ -57,6 +57,22 @@ class Backend:
         """Materialise a Bell-diagonal pair from explicit weights."""
         raise NotImplementedError
 
+    def link_pair_factory(self, model, alpha: float):
+        """A per-``(model, α)`` pair materialiser for the link layer.
+
+        ``alpha`` is fixed for the lifetime of a generation request, so the
+        produced-state lookup (a memo-dict probe per delivery through
+        :meth:`create_link_pair`) can be hoisted out of the generation loop
+        entirely.  Returns ``make(bell_index, name_a, name_b)``; the default
+        simply forwards to :meth:`create_link_pair` so custom backends keep
+        working unchanged.
+        """
+        def make(bell_index: BellIndex, name_a: str = "",
+                 name_b: str = "") -> Tuple[Qubit, Qubit]:
+            return self.create_link_pair(model, alpha, bell_index,
+                                         name_a, name_b)
+        return make
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} {self.name!r}>"
 
@@ -80,6 +96,19 @@ class DensityMatrixBackend(Backend):
         QState(bell_diagonal_dm(weights), [qubit_a, qubit_b])
         return qubit_a, qubit_b
 
+    def link_pair_factory(self, model, alpha):
+        """Prebind the two heralded density matrices (Ψ±) for this α."""
+        matrices = {index: model.produced_dm(alpha, index)
+                    for index in (BellIndex.PSI_PLUS, BellIndex.PSI_MINUS)}
+
+        def make(bell_index, name_a="", name_b=""):
+            qubit_a = Qubit(name_a)
+            qubit_b = Qubit(name_b)
+            QState.from_trusted_dm(matrices[bell_index], [qubit_a, qubit_b])
+            return qubit_a, qubit_b
+
+        return make
+
 
 class BellDiagonalBackend(Backend):
     """The fast Bell-diagonal formalism (weights instead of matrices)."""
@@ -98,6 +127,20 @@ class BellDiagonalBackend(Backend):
 
     def create_pair_from_weights(self, weights, name_a="", name_b=""):
         return create_bell_diagonal_pair(weights, name_a, name_b)
+
+    def link_pair_factory(self, model, alpha):
+        """Prebind the two heralded weight vectors (Ψ±) for this α."""
+        weights = {index: model.produced_weights(alpha, index)
+                   for index in (BellIndex.PSI_PLUS, BellIndex.PSI_MINUS)}
+        from_trusted = BellPairState.from_trusted_weights
+
+        def make(bell_index, name_a="", name_b=""):
+            qubit_a = Qubit(name_a)
+            qubit_b = Qubit(name_b)
+            from_trusted(weights[bell_index], [qubit_a, qubit_b])
+            return qubit_a, qubit_b
+
+        return make
 
 
 _BACKENDS: dict[str, Backend] = {

@@ -29,11 +29,13 @@ class Qubit:
         Simulated timestamp up to which memory noise has been applied.
     """
 
-    __slots__ = ("uid", "name", "state", "t1", "t2", "last_noise_time", "owner")
+    __slots__ = ("name", "state", "t1", "t2", "last_noise_time", "owner")
 
     def __init__(self, name: str = "", t1: float = math.inf, t2: float = math.inf):
-        self.uid = next(_qubit_ids)
-        self.name = name or f"q{self.uid}"
+        # Auto-named qubits draw from the shared counter; named ones (the
+        # link layer's hot path) skip it — one fewer call per materialised
+        # pair.
+        self.name = name or f"q{next(_qubit_ids)}"
         self.state: Optional["QState"] = None
         self.t1 = t1
         self.t2 = t2

@@ -45,6 +45,23 @@ class QState:
     # ------------------------------------------------------------------
 
     @classmethod
+    def from_trusted_dm(cls, dm: np.ndarray, qubits: Sequence[Qubit]) -> "QState":
+        """Bind fresh qubits to a pre-validated density matrix.
+
+        The hot-path constructor mirroring
+        :meth:`~repro.quantum.bellstate.BellPairState.from_trusted_weights`:
+        link-pair materialisation passes memoized, correctly shaped (and
+        possibly read-only) matrices, so the ``__init__`` validation would
+        be pure overhead.  Callers guarantee shape and ownership.
+        """
+        state = object.__new__(cls)
+        state.dm = dm
+        state.qubits = list(qubits)
+        for qubit in state.qubits:
+            qubit.state = state
+        return state
+
+    @classmethod
     def from_pure(cls, vector: np.ndarray, qubits: Sequence[Qubit]) -> "QState":
         """Create a state from a pure state vector."""
         vector = np.asarray(vector, dtype=complex)

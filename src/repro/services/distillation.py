@@ -167,6 +167,24 @@ class DistillationModule:
             return 0.0
         return self.rounds_succeeded / self.rounds_attempted
 
+    def discard_pending(self) -> int:
+        """Free every pair still buffered below the final level.
+
+        Session close for streaming consumers (the traffic application
+        layer): an odd pair waiting for a partner at some level would
+        otherwise keep its qubits — and their simulated state — alive
+        forever.  Returns the number of pairs discarded.
+        """
+        discarded = 0
+        for buffer in self._buffers:
+            while buffer:
+                qubit_a, qubit_b = buffer.pop()
+                for qubit in (qubit_a, qubit_b):
+                    if qubit.state is not None:
+                        qubit.state.remove(qubit)
+                discarded += 1
+        return discarded
+
 
 def theoretical_dejmps_fidelity(fidelity: float) -> float:
     """Output fidelity of DEJMPS on two Werner pairs (noiseless gates).

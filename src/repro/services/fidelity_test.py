@@ -42,8 +42,17 @@ class FidelityEstimate:
         return math.sqrt(total)
 
 
-def _expected_xor(bell_state: int, basis: str) -> int:
+def expected_xor(bell_state: int, basis: str) -> int:
+    """Expected XOR of same-basis outcomes on a pair in ``bell_state``.
+
+    Z-basis outcomes XOR to the state's parity bit, X-basis outcomes to
+    its phase bit — the reconciliation rule test rounds (and BBM92
+    sifting) check correlations against.
+    """
     return bell_state & 1 if basis == "Z" else (bell_state >> 1) & 1
+
+
+_expected_xor = expected_xor
 
 
 def run_test_rounds(net, circuit_id: str, rounds_per_basis: int,

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..core.requests import DeliveryStatus, PairDelivery
+from .fidelity_test import expected_xor
 
 
 @dataclass
@@ -30,10 +31,27 @@ class SiftedKey:
     qber: float
     sifted_rounds: int
     total_rounds: int
+    #: Basis-resolved tallies (asymmetric error rates matter: heralded
+    #: states carry more phase than parity error, and the asymptotic
+    #: secret fraction keys off each basis separately).
+    errors_z: int = 0
+    rounds_z: int = 0
+    errors_x: int = 0
+    rounds_x: int = 0
 
     @property
     def sift_ratio(self) -> float:
         return self.sifted_rounds / self.total_rounds if self.total_rounds else 0.0
+
+    @property
+    def qber_z(self) -> float:
+        """Error rate of the Z-basis sifted rounds."""
+        return self.errors_z / self.rounds_z if self.rounds_z else 0.0
+
+    @property
+    def qber_x(self) -> float:
+        """Error rate of the X-basis sifted rounds."""
+        return self.errors_x / self.rounds_x if self.rounds_x else 0.0
 
 
 @dataclass
@@ -76,20 +94,25 @@ def sift(head: BBM92Endpoint, tail: BBM92Endpoint) -> SiftedKey:
     errors = 0
     common = sorted(set(head.rounds) & set(tail.rounds))
     sifted = 0
+    by_basis = {"Z": [0, 0], "X": [0, 0]}  # basis → [errors, rounds]
     for pair_id in common:
         round_head = head.rounds[pair_id]
         round_tail = tail.rounds[pair_id]
         if round_head.basis != round_tail.basis:
             continue
         sifted += 1
-        bell = round_head.bell_state
-        expected_xor = bell & 1 if round_head.basis == "Z" else (bell >> 1) & 1
-        if (round_head.bit ^ round_tail.bit) != expected_xor:
+        tally = by_basis[round_head.basis]
+        tally[1] += 1
+        expected = expected_xor(round_head.bell_state, round_head.basis)
+        if (round_head.bit ^ round_tail.bit) != expected:
             errors += 1
+            tally[0] += 1
         key_bits.append(round_head.bit)
     qber = errors / sifted if sifted else 0.0
     return SiftedKey(key_bits=key_bits, qber=qber,
-                     sifted_rounds=sifted, total_rounds=len(common))
+                     sifted_rounds=sifted, total_rounds=len(common),
+                     errors_z=by_basis["Z"][0], rounds_z=by_basis["Z"][1],
+                     errors_x=by_basis["X"][0], rounds_x=by_basis["X"][1])
 
 
 def run_bbm92(net, circuit_id: str, num_pairs: int,

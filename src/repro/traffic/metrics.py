@@ -13,6 +13,9 @@ Collected per run:
 * **routing & recovery** — the path metric, installed link-share peak,
   link-down events and the RECOVERED/LOST circuit and session tallies
   (see :mod:`repro.traffic.faults`);
+* **applications** — per-circuit app outcomes and SLO verdicts plus the
+  per-app rollup (see :mod:`repro.apps`), when the engine ran with
+  ``apps=``;
 * **totals** — end-to-end throughput and the fidelity distribution.
 
 Rendering goes through :func:`repro.analysis.experiments.render_table`
@@ -26,6 +29,7 @@ from typing import TYPE_CHECKING, Optional, Sequence
 
 from ..analysis.experiments import render_table
 from ..analysis.stats import mean
+from ..apps import HEADLINE_METRICS, summarise_apps
 from ..core.requests import DeliveryStatus, RequestStatus
 from ..netsim.units import S
 
@@ -128,6 +132,9 @@ class TrafficReport:
     arbiters: list[ArbiterStats]
     #: Routing/recovery telemetry (None for reports built without it).
     recovery: Optional[RecoveryStats] = None
+    #: Per-circuit application outcomes (:class:`repro.apps.AppOutcome`;
+    #: empty for app-less workloads).
+    apps: list = field(default_factory=list)
 
     # -- scalar telemetry ------------------------------------------------
 
@@ -164,6 +171,16 @@ class TrafficReport:
         return sum(tally.lost for tally in self.classes.values())
 
     @property
+    def app_summaries(self) -> dict:
+        """Per-app rollup of the outcomes (app name → AppSummary)."""
+        return summarise_apps(self.apps)
+
+    @property
+    def apps_slo_met(self) -> bool:
+        """Whether every app session met its SLO (vacuously True)."""
+        return all(outcome.slo.met for outcome in self.apps)
+
+    @property
     def fidelities(self) -> list:
         """All measured pair fidelities, across classes."""
         samples: list = []
@@ -187,6 +204,8 @@ class TrafficReport:
             blocks.append(self._render_arbiters())
         if self.recovery is not None:
             blocks.append(self._render_recovery())
+        if self.apps:
+            blocks.append(self._render_apps())
         return "\n\n".join(blocks)
 
     def _render_totals(self) -> str:
@@ -289,6 +308,52 @@ class TrafficReport:
         return "\n".join(lines)
 
 
+    def _render_apps(self) -> str:
+        """The application SLO section: per-circuit verdicts + rollup."""
+        rows = []
+        for outcome in self.apps:
+            headline_key = HEADLINE_METRICS.get(outcome.app, "")
+            headline = outcome.headline
+            failed = "; ".join(check.label()
+                               for check in outcome.slo.failed_checks)
+            rows.append([
+                outcome.circuit_id, outcome.app, outcome.pairs_consumed,
+                headline_key or "-",
+                "-" if headline is None else f"{headline:.4f}",
+                ("met" if outcome.slo.met else f"MISSED ({failed})"),
+            ])
+        per_circuit = render_table(
+            ["circuit", "app", "pairs", "headline metric", "value", "SLO"],
+            rows, title="application sessions (per circuit)")
+        summary_rows = []
+        for name, summary in self.app_summaries.items():
+            headline = summary.headline
+            summary_rows.append([
+                name, summary.circuits, summary.pairs_consumed,
+                HEADLINE_METRICS.get(name, "-") or "-",
+                "-" if headline is None else f"{headline:.4f}",
+                summary.slo_label,
+            ])
+        rollup = render_table(
+            ["app", "circuits", "pairs", "headline metric", "mean value",
+             "SLO met"],
+            summary_rows, title="application SLOs (per app)")
+        return per_circuit + "\n\n" + rollup
+
+    def render_app_details(self) -> str:
+        """Long-form per-circuit app metrics (the ``apps --demo`` view)."""
+        lines = []
+        for outcome in self.apps:
+            lines.append(f"{outcome.circuit_id} [{outcome.app}] — "
+                         f"{outcome.pairs_consumed} pairs consumed")
+            for key, value in sorted(outcome.metrics.items()):
+                lines.append(f"    {key}: {value:g}" if isinstance(
+                    value, (int, float)) else f"    {key}: {value}")
+            for check in outcome.slo.checks:
+                lines.append(f"    SLO {check.label()}")
+        return "\n".join(lines)
+
+
 def record_handles(record: "SessionRecord") -> list:
     """All incarnations of a session's request handle, oldest first.
 
@@ -303,13 +368,15 @@ def build_report(net: "Network", circuits: Sequence["TrafficCircuit"],
                  records: Sequence["SessionRecord"], horizon_ns: float,
                  elapsed_ns: Optional[float] = None,
                  classes: Sequence = (),
-                 recovery: Optional[RecoveryStats] = None) -> TrafficReport:
+                 recovery: Optional[RecoveryStats] = None,
+                 apps: Sequence = ()) -> TrafficReport:
     """Aggregate a finished run into a :class:`TrafficReport`.
 
     ``elapsed_ns`` is the wall of simulated time the workload actually
     spanned (horizon + drain); defaults to the simulator clock.
     ``recovery`` attaches the routing/failure telemetry the traffic
-    engine collected.
+    engine collected; ``apps`` the finalised per-circuit application
+    outcomes.
     """
     if elapsed_ns is None:
         elapsed_ns = net.sim.now
@@ -405,4 +472,5 @@ def build_report(net: "Network", circuits: Sequence["TrafficCircuit"],
         links=link_stats,
         arbiters=arbiter_stats,
         recovery=recovery,
+        apps=list(apps),
     )

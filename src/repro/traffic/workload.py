@@ -40,6 +40,7 @@ from typing import Optional, Sequence
 import networkx as nx
 
 from ..analysis.stats import mean
+from ..apps import AppContext, get_app
 from ..control.routing import PATH_METRICS, RouteError
 from ..core.requests import (
     DeliveryStatus,
@@ -82,6 +83,8 @@ class TrafficCircuit:
     recoveries: int = 0
     #: True once no surviving path exists; arrivals are counted LOST.
     lost: bool = False
+    #: Application service consuming this circuit's deliveries ("" = none).
+    app: str = ""
 
 
 @dataclass
@@ -112,12 +115,16 @@ class TrafficEngine:
                  max_sessions: int = 2000, metric: str = "hops",
                  fail_links: int = 0, mtbf_s: Optional[float] = None,
                  mttr_s: Optional[float] = None,
-                 watch_interval_ms: float = 20.0, miss_limit: int = 3):
+                 watch_interval_ms: float = 20.0, miss_limit: int = 3,
+                 apps: Optional[Sequence[str]] = None):
         """``metric`` picks the routing metric for every circuit;
         ``fail_links``/``mtbf_s``/``mttr_s`` configure the outage model of
         :func:`repro.traffic.faults.fault_schedule`;
         ``watch_interval_ms``/``miss_limit`` tune how fast the liveness
-        keepalive declares a circuit dead."""
+        keepalive declares a circuit dead; ``apps`` assigns application
+        services (:mod:`repro.apps`) to circuits round-robin — every
+        delivered pair then flows into the circuit's app consumer and the
+        report gains a per-app SLO section."""
         if circuits < 1:
             raise ValueError("need at least one circuit")
         if load <= 0:
@@ -136,6 +143,12 @@ class TrafficEngine:
             raise ValueError("mtbf_s must be positive")
         if mttr_s is not None and mttr_s <= 0:
             raise ValueError("mttr_s must be positive")
+        if apps is not None:
+            if not apps:
+                raise ValueError("apps cannot be an empty list "
+                                 "(omit it for an app-less workload)")
+            for app in apps:
+                get_app(app)  # raises a vocabulary-naming ValueError
         self.net = net
         self.num_circuits = circuits
         self.load = load
@@ -154,6 +167,11 @@ class TrafficEngine:
         self.mttr_s = mttr_s
         self.watch_interval_ms = watch_interval_ms
         self.miss_limit = miss_limit
+        self.apps = None if apps is None else tuple(apps)
+        #: Circuit index → live app service instance (populated on install).
+        self._app_services: dict[int, object] = {}
+        self._app_outcomes = None
+        self._elapsed_ns = 0.0
         self.circuits: list[TrafficCircuit] = []
         self.records: list[SessionRecord] = []
         self.fault_events: list[FaultEvent] = []
@@ -185,22 +203,33 @@ class TrafficEngine:
         onto the few links incident to that node, which no path metric
         can route around; once the fresh pool runs out, endpoints (and,
         for explicit ``endpoint_pairs``, whole pairs) are reused.
+
+        With ``apps``, each circuit's app is fixed by its index (round
+        robin) *before* routing, and the app's fidelity demand
+        (:attr:`repro.apps.AppService.min_fidelity`) raises that
+        circuit's target — application SLOs drive what is asked of the
+        network, not just how its output is scored.
         """
         if self.circuits:
             return self.circuits
         supplier = (self._explicit_pairs() if self.endpoint_pairs is not None
                     else self._sampled_pairs())
         while len(self.circuits) < self.num_circuits:
+            app = ("" if self.apps is None
+                   else self.apps[len(self.circuits) % len(self.apps)])
+            target = self.target_fidelity
+            if app:
+                target = max(target, get_app(app).min_fidelity)
             try:
                 head, tail = next(supplier)
             except StopIteration:
                 raise RuntimeError(
                     f"could only establish {len(self.circuits)} of "
                     f"{self.num_circuits} circuits at fidelity "
-                    f"{self.target_fidelity}") from None
+                    f"{target}") from None
             try:
                 circuit_id = self.net.establish_circuit(
-                    head, tail, self.target_fidelity, self.cutoff_policy,
+                    head, tail, target, self.cutoff_policy,
                     metric=self.metric)
             except RouteError:
                 continue
@@ -208,12 +237,53 @@ class TrafficEngine:
             circuit = TrafficCircuit(
                 index=len(self.circuits), circuit_id=circuit_id,
                 head=head, tail=tail, hops=route.num_links, eer=route.eer,
-                path=list(route.path))
+                path=list(route.path), app=app)
             self.circuits.append(circuit)
             self._by_circuit_id[circuit_id] = circuit
         if self.net.controller is not None:
             self.max_link_share = self.net.controller.max_link_share()
+        if self.apps is not None:
+            self._assign_apps()
         return self.circuits
+
+    def _assign_apps(self) -> None:
+        """Instantiate each circuit's app service (apps were fixed at
+        installation time, where their fidelity demands shaped routing).
+
+        Each instance gets its own RNG stream (disjoint from the
+        workload's endpoint (−1) and fault (−2) streams and the
+        per-circuit arrival streams ≥ 0), so app-side randomness —
+        BBM92 basis choices, twirl draws — is deterministic in the
+        engine seed alone.
+        """
+        for circuit in self.circuits:
+            route = self.net.route_of(circuit.circuit_id)
+            ctx = AppContext(
+                circuit_index=circuit.index,
+                circuit_id=circuit.circuit_id,
+                head=circuit.head,
+                tail=circuit.tail,
+                head_device=self.net.node(circuit.head).device,
+                tail_device=self.net.node(circuit.tail).device,
+                rng=random.Random(stream_seed(self.seed,
+                                              -3 - circuit.index)),
+                estimated_fidelity=route.estimated_fidelity,
+                target_fidelity=route.target_fidelity,
+            )
+            self._app_services[circuit.index] = get_app(circuit.app)(ctx)
+
+    def app_outcomes(self) -> list:
+        """Finalised per-circuit app outcomes (empty without ``apps``).
+
+        Valid once :meth:`run` finished; ordered by circuit index and
+        computed exactly once (finalising tears down app-held state).
+        """
+        if self._app_outcomes is None:
+            elapsed_s = self._elapsed_ns / S
+            self._app_outcomes = [
+                self._app_services[index].finalise(elapsed_s)
+                for index in sorted(self._app_services)]
+        return self._app_outcomes
 
     def _explicit_pairs(self):
         """Yield caller-provided endpoint pairs, shuffled, with reuse.
@@ -303,6 +373,7 @@ class TrafficEngine:
         if drain > 0 and outstanding:
             self.net.run_until_complete(outstanding, timeout_s=drain)
         elapsed_ns = sim.now - start_ns
+        self._elapsed_ns = elapsed_ns
         for circuit in self.circuits:
             self.net.teardown_circuit(circuit.circuit_id)
         # Let the TEAR messages propagate so every node along every path
@@ -312,7 +383,8 @@ class TrafficEngine:
                             horizon_ns=horizon_ns,
                             elapsed_ns=elapsed_ns,
                             classes=self.classes,
-                            recovery=self._recovery_stats())
+                            recovery=self._recovery_stats(),
+                            apps=self.app_outcomes())
 
     # ------------------------------------------------------------------
     # Fault injection and circuit recovery
@@ -408,7 +480,8 @@ class TrafficEngine:
         handle = self.net.submit(
             circuit.circuit_id,
             UserRequest(num_pairs=remaining, deadline=deadline_ns),
-            record_fidelity=True)
+            record_fidelity=True,
+            on_matched=self._consumer_for(circuit))
         record.prior_handles.append(record.handle)
         record.handle = handle
         record.circuit_id = circuit.circuit_id
@@ -432,6 +505,16 @@ class TrafficEngine:
             route_computations=(controller.route_computations
                                 if controller is not None else 0),
         )
+
+    def _consumer_for(self, circuit: TrafficCircuit):
+        """The delivery fan-in hook of a circuit's app service (or None).
+
+        Every session on the circuit shares the one service instance, so
+        the app sees the circuit's whole delivery stream — sessions are
+        the workload's unit, circuits are the application's.
+        """
+        service = self._app_services.get(circuit.index)
+        return None if service is None else service.consume
 
     def _mean_interarrival_ns(self, circuit: TrafficCircuit) -> float:
         """Inter-arrival time so offered pairs/s ≈ load × circuit EER."""
@@ -462,7 +545,8 @@ class TrafficEngine:
         handle = self.net.submit(
             circuit.circuit_id,
             UserRequest(num_pairs=spec.num_pairs, deadline=deadline_ns),
-            record_fidelity=True)
+            record_fidelity=True,
+            on_matched=self._consumer_for(circuit))
         if handle.status == RequestStatus.REJECTED:
             decision = "rejected"
         elif handle.status == RequestStatus.QUEUED:

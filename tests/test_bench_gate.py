@@ -70,6 +70,65 @@ class TestCompare:
             gate.compare(_payload({}), _payload({}), threshold=1.0)
 
 
+class TestSpeedupFloors:
+    """The bell-vs-dm ratio gate (`--check-speedups`).
+
+    BENCH_c001c5d.json recorded the old link-generation op with bell
+    *slower* than dm (0.84x); the floors make that class of regression a
+    hard CI failure instead of a silent JSON entry.
+    """
+
+    def test_floors_cover_the_delivery_round(self):
+        assert gate.SPEEDUP_FLOORS["link_delivery_round"] >= 1.0
+
+    def test_bell_not_slower_passes(self):
+        payload = {"speedup_bell_over_dm":
+                   {"bsm": 26.0, "link_delivery_round": 1.4,
+                    "traffic_round": 2.1}}
+        assert gate.check_speedups(payload) == []
+
+    def test_bell_slower_than_dm_fails(self):
+        # the exact regression shape of BENCH_c001c5d.json
+        payload = {"speedup_bell_over_dm": {"link_delivery_round": 0.84}}
+        violations = gate.check_speedups(payload)
+        assert len(violations) == 1
+        assert "link_delivery_round" in violations[0]
+        assert "0.84" in violations[0]
+
+    def test_missing_ops_are_skipped(self):
+        # --only subsets omit ratios; absence must not fail the gate
+        assert gate.check_speedups({}) == []
+        assert gate.check_speedups({"speedup_bell_over_dm": {}}) == []
+
+    def test_custom_floor_applies(self):
+        payload = {"speedup_bell_over_dm": {"bsm": 4.0}}
+        assert gate.check_speedups(payload, floors={"bsm": 5.0})
+        assert not gate.check_speedups(payload, floors={"bsm": 3.0})
+
+    def test_cli_flag_enforces_floors(self, tmp_path, capsys):
+        baseline = gate.newest_baseline()
+        payload = json.loads(baseline.read_text())
+        payload["speedup_bell_over_dm"] = {"link_delivery_round": 0.84}
+        fresh = tmp_path / "fresh.json"
+        fresh.write_text(json.dumps(payload))
+        code = gate.main([str(fresh), "--check-speedups",
+                          "--baseline", str(baseline)])
+        assert code == 1
+        assert "speedup floors violated" in capsys.readouterr().out
+
+    def test_cli_flag_passes_on_healthy_ratios(self, tmp_path, capsys):
+        baseline = gate.newest_baseline()
+        payload = json.loads(baseline.read_text())
+        payload["speedup_bell_over_dm"] = {
+            "bsm": 26.0, "link_delivery_round": 1.5, "traffic_round": 2.0}
+        fresh = tmp_path / "fresh.json"
+        fresh.write_text(json.dumps(payload))
+        code = gate.main([str(fresh), "--check-speedups",
+                          "--baseline", str(baseline)])
+        assert code == 0
+        assert "speedup floors hold" in capsys.readouterr().out
+
+
 class TestBaselineSelection:
     def test_newest_baseline_is_a_committed_bench_file(self):
         baseline = gate.newest_baseline()

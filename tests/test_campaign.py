@@ -121,6 +121,24 @@ class TestSpecValidation:
             load_spec({"axes": _minimal_axes(
                 faults=[{"fail_links": 1, "mtbf_s": True}])})
 
+    def test_bad_app_rejected_naming_axis_and_vocabulary(self):
+        with pytest.raises(ValueError, match="axis 'app': unknown app"
+                                             " 'gaming'"):
+            load_spec({"axes": _minimal_axes(app=["gaming"])})
+        with pytest.raises(ValueError, match="qkd"):
+            load_spec({"axes": _minimal_axes(app=["qkd", "nope"])})
+        with pytest.raises(ValueError, match="axis 'app' must be a"
+                                             " non-empty list"):
+            load_spec({"axes": _minimal_axes(app=[])})
+
+    def test_app_axis_accepts_null_and_names(self):
+        spec = load_spec({"axes": _minimal_axes(
+            app=[None, "qkd", "teleport"])})
+        cells = spec.expand()
+        assert [cell.app for cell in cells] == [None, "qkd", "teleport"]
+        assert cells[0].label().split()[-2] == "-"
+        assert "qkd" in cells[1].label()
+
     def test_missing_spec_file_rejected(self, tmp_path):
         with pytest.raises(ValueError, match="not found"):
             load_spec(tmp_path / "ghost.json")
@@ -233,6 +251,50 @@ class TestExecution:
         faulted = serial.results[1]
         assert faulted.link_down_events == 1
         assert faulted.circuits_recovered + faulted.circuits_lost >= 1
+
+    def test_sharded_identity_with_apps(self):
+        """The app-axis determinism pin: byte-identical sharded runs."""
+        spec = load_spec(EXAMPLES_DIR / "campaign_apps.json")
+        serial = run_campaign(spec, workers=1)
+        sharded = run_campaign(spec, workers=2)
+        assert serial.render() == sharded.render()
+        assert (json.dumps(serial.to_payload(), sort_keys=True)
+                == json.dumps(sharded.to_payload(), sort_keys=True))
+        assert serial.completed_cells == 4
+        # every app produced consumed pairs and a headline
+        per_app = serial.per_app()
+        assert set(per_app) == {"qkd", "distil", "teleport", "certify"}
+        for entry in per_app.values():
+            assert entry["pairs_consumed"] > 0
+            assert entry["circuits"] > 0
+
+    def test_app_marginal_renders(self):
+        spec = load_spec(EXAMPLES_DIR / "campaign_apps.json")
+        result = run_campaign(spec, workers=1)
+        rendered = result.render()
+        assert "marginal by app" in rendered
+        for column in ("app pairs", "SLO met", "headline"):
+            assert column in rendered
+        payload = result.to_payload()
+        assert set(payload["apps"]) == {"qkd", "distil", "teleport",
+                                        "certify"}
+        for cell in payload["cells"]:
+            assert cell["app"] in payload["apps"]
+            assert cell["app_circuits"] >= 1
+
+    def test_cli_campaign_apps_flag_injects_axis(self, tmp_path, capsys):
+        out = tmp_path / "campaign.json"
+        code = main(["campaign", "--spec",
+                     str(EXAMPLES_DIR / "campaign_smoke.json"),
+                     "--apps", "teleport", "--out", str(out)])
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["spec"]["axes"]["app"] == ["teleport"]
+        assert set(payload["apps"]) == {"teleport"}
+        with pytest.raises(SystemExit, match="bad --apps"):
+            main(["campaign", "--spec",
+                  str(EXAMPLES_DIR / "campaign_smoke.json"),
+                  "--apps", "clouds"])
 
     def test_cli_campaign_end_to_end(self, tmp_path, capsys):
         out = tmp_path / "campaign.json"

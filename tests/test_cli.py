@@ -8,7 +8,7 @@ from repro.cli import build_parser, main
 def test_parser_subcommands():
     parser = build_parser()
     for command in ("quickstart", "chain", "qkd", "near-term", "trace",
-                    "traffic"):
+                    "traffic", "apps"):
         args = parser.parse_args([command])
         assert callable(args.fn)
 
@@ -134,6 +134,42 @@ def test_traffic_runs(capsys):
     assert "admission and completion by priority class" in out
     assert "per-link utilisation" in out
     assert "pairs/s end-to-end" in out
+
+
+def test_traffic_apps_flag_runs_slo_section(capsys):
+    code = main(["traffic", "--topology", "ring", "--size", "5",
+                 "--circuits", "2", "--horizon", "0.3", "--seed", "7",
+                 "--formalism", "bell", "--apps", "teleport,certify"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "apps teleport,certify" in out
+    assert "application sessions (per circuit)" in out
+    assert "application SLOs (per app)" in out
+    assert "teleport" in out and "certify" in out
+
+
+def test_traffic_apps_flag_validated():
+    with pytest.raises(SystemExit, match="bad --apps"):
+        main(["traffic", "--apps", "minesweeper"])
+    with pytest.raises(SystemExit, match="at least one"):
+        main(["traffic", "--apps", " , "])
+
+
+def test_apps_subcommand_lists_registry(capsys):
+    code = main(["apps"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "registered application services" in out
+    for name in ("qkd", "distil", "teleport", "certify"):
+        assert name in out
+    assert "demands F >= 0.9" in out  # qkd's fidelity demand
+    assert "SLO:" in out
+
+
+def test_apps_demo_parser_wiring():
+    args = build_parser().parse_args(["apps", "--demo"])
+    assert args.demo is True
+    assert callable(args.fn)
 
 
 def test_quickstart_runs_on_bell_backend(capsys):

@@ -13,7 +13,8 @@ import pkgutil
 
 import pytest
 
-PACKAGES = ("repro.campaign", "repro.control", "repro.traffic")
+PACKAGES = ("repro.apps", "repro.campaign", "repro.control",
+            "repro.traffic")
 
 
 def _modules():

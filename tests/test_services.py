@@ -1,17 +1,27 @@
-"""Tests for the services built on the QNP: distillation, QKD, test rounds."""
+"""Tests for the services built on the QNP: distillation, QKD, test rounds.
+
+Beyond the stack-level smoke tests, the analytic pins live here: the
+BBM92 QBER of a Werner pair equals ``2(1−F)/3`` per basis on *both*
+state backends (computed exactly from the represented state, 1e-6), and
+a DEJMPS success on Werner inputs lands exactly on the Deutsch et al.
+fidelity map across a grid of input fidelities.
+"""
 
 import random
 
+import numpy as np
 import pytest
 
 from repro.network.builder import build_chain_network
 from repro.quantum import (
+    BellPairState,
     NoisyOpParams,
     bell_dm,
     create_pair,
     pair_fidelity,
     werner_dm,
 )
+from repro.quantum.backends import get_backend
 from repro.services import (
     DistillationModule,
     dejmps_round,
@@ -20,6 +30,8 @@ from repro.services import (
     theoretical_dejmps_fidelity,
     theoretical_dejmps_success,
 )
+from repro.services.fidelity_test import expected_xor
+from repro.services.qkd import BBM92Endpoint, sift
 
 
 class TestDejmps:
@@ -130,6 +142,125 @@ class TestDejmps:
             / len(two.distilled)
         assert abs(fidelity_one - 0.83) < 0.03      # round 1 ≈ neutral
         assert fidelity_two > 0.92                  # round 2 purifies
+
+
+def _state_error_rates(qubit_a, qubit_b, bell_index: int):
+    """Exact same-basis mismatch probabilities (e_Z, e_X) of a live pair.
+
+    Computed from the state representation itself — weight sums on the
+    Bell backend, Born-rule sums on the density matrix — so the result
+    is deterministic, not sampled.
+    """
+    state = qubit_a.state
+    if isinstance(state, BellPairState):
+        weights = state.weights
+        error_z = float(weights[bell_index ^ 1] + weights[bell_index ^ 3])
+        error_x = float(weights[bell_index ^ 2] + weights[bell_index ^ 3])
+        return error_z, error_x
+    dm = state.dm
+    assert dm.shape == (4, 4) and state.qubits == [qubit_a, qubit_b]
+    hadamard = np.array([[1, 1], [1, -1]]) / np.sqrt(2.0)
+
+    def mismatch(matrix, expected):
+        odd = float(np.real(matrix[0b01, 0b01] + matrix[0b10, 0b10]))
+        return odd if expected == 0 else 1.0 - odd
+
+    rotated = np.kron(hadamard, hadamard)
+    error_z = mismatch(dm, expected_xor(bell_index, "Z"))
+    error_x = mismatch(rotated @ dm @ rotated.conj().T,
+                       expected_xor(bell_index, "X"))
+    return error_z, error_x
+
+
+class TestQberWernerRelation:
+    """Satellite pin: BBM92 QBER vs the analytic Werner relation."""
+
+    FIDELITIES = [0.5, 0.55, 0.6211, 0.7, 0.75, 0.8, 0.8537, 0.9,
+                  0.95, 0.975, 1.0]
+
+    @pytest.mark.parametrize("backend_name", ["dm", "bell"])
+    @pytest.mark.parametrize("bell_index", [0, 1, 2, 3])
+    def test_state_error_rates_match_analytic(self, backend_name,
+                                              bell_index):
+        backend = get_backend(backend_name)
+        for fidelity in self.FIDELITIES:
+            p = (1.0 - fidelity) / 3.0
+            weights = [p] * 4
+            weights[bell_index] = fidelity
+            qubit_a, qubit_b = backend.create_pair_from_weights(weights)
+            error_z, error_x = _state_error_rates(qubit_a, qubit_b,
+                                                  bell_index)
+            analytic = 2.0 * (1.0 - fidelity) / 3.0
+            assert error_z == pytest.approx(analytic, abs=1e-6)
+            assert error_x == pytest.approx(analytic, abs=1e-6)
+
+    @pytest.mark.parametrize("backend_name", ["dm", "bell"])
+    def test_sifted_qber_converges_to_relation(self, backend_name):
+        """The full measurement+sift path agrees statistically too."""
+        from repro.quantum.operations import measure_qubit
+
+        class Device:
+            def __init__(self, rng):
+                self.rng = rng
+
+            def measure(self, qubit, basis="Z"):
+                return measure_qubit(qubit, self.rng, basis), 0.0
+
+        fidelity = 0.85
+        backend = get_backend(backend_name)
+        shared = random.Random(97)
+        head = BBM92Endpoint(Device(random.Random(98)), shared)
+        tail = BBM92Endpoint(Device(random.Random(99)), shared)
+        from repro.core.requests import DeliveryStatus, PairDelivery
+
+        p = (1.0 - fidelity) / 3.0
+        for index in range(3000):
+            qubit_a, qubit_b = backend.create_pair_from_weights(
+                (fidelity, p, p, p))
+            for endpoint, qubit in ((head, qubit_a), (tail, qubit_b)):
+                endpoint.absorb(PairDelivery(
+                    request_id="r", sequence=index,
+                    status=DeliveryStatus.CONFIRMED, qubit=qubit,
+                    measurement=None, bell_state=0,
+                    pair_id=("s", index), t_created=0.0, t_delivered=0.0))
+        key = sift(head, tail)
+        analytic = 2.0 * (1.0 - fidelity) / 3.0
+        assert key.sifted_rounds > 1000
+        assert key.qber == pytest.approx(analytic, abs=0.02)
+        assert key.qber_z == pytest.approx(analytic, abs=0.03)
+        assert key.qber_x == pytest.approx(analytic, abs=0.03)
+        assert key.errors_z + key.errors_x == round(key.qber
+                                                    * key.sifted_rounds)
+
+
+class TestDeutschFidelityMap:
+    """Satellite pin: DEJMPS output fidelity on Werner inputs is exactly
+    the Deutsch et al. closed form, across a grid of input fidelities."""
+
+    @pytest.mark.parametrize("fidelity",
+                             [0.55, 0.6, 0.65, 0.7, 0.75, 0.8, 0.85,
+                              0.9, 0.95])
+    def test_success_lands_on_the_map(self, fidelity):
+        rng = random.Random(int(fidelity * 1000))
+        successes = 0
+        for _ in range(80):
+            pair_one = create_pair(werner_dm(fidelity))
+            pair_two = create_pair(werner_dm(fidelity))
+            outcome = dejmps_round(pair_one, pair_two, rng)
+            if not outcome.success:
+                continue
+            successes += 1
+            measured = pair_fidelity(outcome.keep_a, outcome.keep_b, 0)
+            assert measured == pytest.approx(
+                theoretical_dejmps_fidelity(fidelity), abs=1e-6)
+            if successes >= 5:
+                break
+        assert successes >= 5, f"too few successes at F={fidelity}"
+
+    def test_map_fixed_points(self):
+        # F' = F at the F=1 and F=1/4 fixed points of the map
+        assert theoretical_dejmps_fidelity(1.0) == pytest.approx(1.0)
+        assert theoretical_dejmps_fidelity(0.25) == pytest.approx(0.25)
 
 
 class TestQkdOverStack:
