@@ -192,8 +192,8 @@ def bench_campaign_cell(formalism: str):
 
     cell = CampaignCell(
         index=0, topology="ring", size=5, formalism=formalism,
-        metric="hops", faults=FaultSpec(fail_links=1), circuits=2,
-        load=0.7, seed=7, horizon_s=0.3, drain_s=0.15,
+        metric="hops", faults=FaultSpec(fail_links=1), app=None,
+        circuits=2, load=0.7, seed=7, horizon_s=0.3, drain_s=0.15,
         target_fidelity=0.7)
 
     def run():

@@ -450,6 +450,11 @@ class TrafficEngine:
         circuit.eer = route.eer
         circuit.recoveries += 1
         self._by_circuit_id[new_id] = circuit
+        service = self._app_services.get(circuit.index)
+        if service is not None:
+            # Keep the app outcome's identity in step with the live
+            # incarnation (endpoints — and hence devices — are unchanged).
+            service.ctx.circuit_id = new_id
         # Re-watch and re-submit immediately rather than from on_ready:
         # if a second outage kills the replacement path mid-handshake the
         # RESV never arrives, and only the liveness keepalive can notice —

@@ -382,6 +382,19 @@ class TestTrafficIntegration:
         assert [o.to_dict() for o in first.apps] \
             == [o.to_dict() for o in second.apps]
 
+    def test_outcomes_track_recovered_circuit_ids(self):
+        """After a failure-triggered re-route, the app outcome names the
+        live circuit incarnation, not the torn-down one."""
+        net = build_topology("ring", 5, seed=7, formalism="bell")
+        engine = TrafficEngine(net, circuits=2, load=0.7, seed=7,
+                               apps=["teleport"], fail_links=1)
+        report = engine.run(horizon_s=0.3, drain_s=0.15)
+        assert engine.circuits_recovered + engine.circuits_lost >= 1
+        by_index = {c.index: c for c in engine.circuits}
+        for outcome in report.apps:
+            assert outcome.circuit_id == \
+                by_index[outcome.circuit_index].circuit_id
+
     def test_appless_run_has_no_section(self):
         net = build_topology("ring", 5, seed=3, formalism="bell")
         engine = TrafficEngine(net, circuits=2, seed=3)
