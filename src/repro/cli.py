@@ -152,8 +152,23 @@ def _cmd_traffic(args: argparse.Namespace) -> int:
     # --timeout caps the post-horizon drain of in-flight sessions (the
     # horizon itself is --horizon, same as every other subcommand's
     # simulated budget).
-    report = engine.run(horizon_s=args.horizon,
-                        drain_s=min(args.horizon, args.timeout))
+    if getattr(args, "profile", False):
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        report = engine.run(horizon_s=args.horizon,
+                            drain_s=min(args.horizon, args.timeout))
+        profiler.disable()
+        out = "traffic.prof"
+        profiler.dump_stats(out)
+        print(f"\nprofile written to {out} "
+              f"(inspect: python -m pstats {out})")
+        pstats.Stats(profiler).sort_stats("cumulative").print_stats(15)
+    else:
+        report = engine.run(horizon_s=args.horizon,
+                            drain_s=min(args.horizon, args.timeout))
     print()
     print(report.render())
     if getattr(args, "app_details", False) and report.apps:
@@ -339,6 +354,9 @@ def build_parser() -> argparse.ArgumentParser:
                               " assigned to circuits round-robin (e.g."
                               " 'qkd,distil,teleport,certify'); the report"
                               " gains a per-app SLO section")
+    traffic.add_argument("--profile", action="store_true",
+                         help="run the traffic loop under cProfile and "
+                              "dump stats to traffic.prof")
     traffic.set_defaults(fn=_cmd_traffic)
 
     apps = sub.add_parser(

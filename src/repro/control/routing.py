@@ -121,6 +121,17 @@ def _age_pair(dm: np.ndarray, elapsed: float, t1: float, t2: float) -> np.ndarra
     return result
 
 
+#: Process-wide budget/ceiling memoisation.  The solves depend only on
+#: *values* — hardware parameters, fibre connection, chain length, target,
+#: cutoff policy, memory lifetimes and gate-noise knobs — all of which are
+#: hashable frozen dataclasses, so controllers of identical networks (every
+#: benchmark round, every campaign cell replica, every test building the
+#: same topology) share one solve instead of redoing the ~1s bisection
+#: cascade per controller instance.
+_BUDGET_CACHE: dict[tuple, object] = {}
+_CEILING_CACHE: dict[tuple, float] = {}
+
+
 class CentralController:
     """Centralised routing: k-path candidates, metrics, fidelity budgets."""
 
@@ -151,11 +162,6 @@ class CentralController:
         self._installed: dict[str, dict[frozenset, float]] = {}
         #: link edge → total installed LPR share (the utilisation metric).
         self.link_share: dict[frozenset, float] = {}
-        #: Budget solutions memoised per (num_links, target, policy) — the
-        #: links are identical, so every equal-length candidate (and every
-        #: later circuit with the same demand) reuses the same solve.
-        self._budget_cache: dict[tuple, tuple] = {}
-        self._ceiling_cache: dict[tuple, float] = {}
         #: Number of completed route computations (telemetry).
         self.route_computations = 0
 
@@ -312,12 +318,16 @@ class CentralController:
                       target_fidelity: float, cutoff_policy: CutoffPolicy
                       ) -> tuple[float, Optional[float], float]:
         """Memoised (link fidelity, cutoff, worst-case fidelity) solve."""
-        # Key by physical parameters, not model identity: every Link owns
-        # its own SingleClickModel instance, but links with the same
-        # hardware and fibre share the budget solution.
-        key = (id(model.params), model.connection, num_links,
-               target_fidelity, cutoff_policy)
-        cached = self._budget_cache.get(key)
+        # Key by physical parameter *values*, not model or controller
+        # identity: every Link owns its own SingleClickModel instance, but
+        # links with the same hardware and fibre share the budget solution
+        # — across controllers too (the module-level cache), since the
+        # solve also folds in the controller's memory lifetimes and gate
+        # noise, which are part of the key.
+        key = (model.params, model.connection, num_links,
+               target_fidelity, cutoff_policy,
+               self.memory_t1, self.memory_t2, self.ops)
+        cached = _BUDGET_CACHE.get(key)
         if cached is not None:
             if isinstance(cached, RouteError):
                 raise cached
@@ -327,9 +337,9 @@ class CentralController:
                                                    target_fidelity,
                                                    cutoff_policy)
         except RouteError as exc:
-            self._budget_cache[key] = exc
+            _BUDGET_CACHE[key] = exc
             raise
-        self._budget_cache[key] = solution
+        _BUDGET_CACHE[key] = solution
         return solution
 
     def _solve_budget_uncached(self, model: SingleClickModel, num_links: int,
@@ -477,12 +487,12 @@ class CentralController:
         return max_lpr * p_match
 
     def _fidelity_ceiling(self, model: SingleClickModel) -> float:
-        key = (id(model.params), model.connection)
-        cached = self._ceiling_cache.get(key)
+        key = (model.params, model.connection)
+        cached = _CEILING_CACHE.get(key)
         if cached is None:
             grid = np.geomspace(1e-3, 0.5, 200)
             cached = float(max(model.fidelity(alpha) for alpha in grid)) - 1e-6
-            self._ceiling_cache[key] = cached
+            _CEILING_CACHE[key] = cached
         return cached
 
     def _link(self, node_a: str, node_b: str):

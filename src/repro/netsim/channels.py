@@ -102,7 +102,9 @@ class ClassicalChannel(Entity):
             deliver_at = self._last_delivery[to_index]
         self._last_delivery[to_index] = deliver_at
         self.messages_sent += 1
-        self.call_at(deliver_at, self.ends[to_index]._deliver, message)
+        # Deliveries are never cancelled, so use the pooled no-handle path
+        # (one recycled EventHandle instead of an allocation per message).
+        self.sim.post_at(deliver_at, self.ends[to_index]._deliver, message)
 
 
 class LossyChannel(ClassicalChannel):

@@ -8,6 +8,21 @@ a small, deterministic replacement for the NetSquid kernel the paper used:
   the same instant fire in the order they were scheduled (FIFO tie-break),
 * events can be cancelled through the handle returned by ``schedule``.
 
+Two hot-path refinements keep the kernel out of the profile at scale:
+
+* **O(1) pending count** — the simulator tracks a live cancelled-event
+  count, so :meth:`Simulator.pending_events` is a subtraction instead of a
+  queue scan (the builder's handshake and drain loops poll it per step);
+* **cancelled-heap compaction** — cancelled handles used to linger in the
+  heap until popped; the queue now compacts itself the moment cancelled
+  entries exceed half of it, bounding both memory and per-push log cost;
+* **handle pooling** — call sites that never cancel (generation rounds,
+  classical message delivery) schedule through :meth:`Simulator.post_at`,
+  which recycles :class:`EventHandle` objects from a free list.  Pooled
+  handles are never exposed to callers, so recycling cannot invalidate a
+  retained reference (timers and protocols that *do* cancel keep using
+  ``schedule``/``schedule_at`` and own their handle).
+
 Example::
 
     sim = Simulator(seed=42)
@@ -22,11 +37,20 @@ import itertools
 import random
 from typing import Any, Callable, Optional
 
+#: Queue length below which cancelled-entry compaction is not worth the
+#: rebuild (tiny heaps pop their dead entries almost immediately anyway).
+_COMPACT_MIN_QUEUE = 64
+#: Upper bound on the recycled-handle free list (plenty for the deepest
+#: in-flight window the stack produces; beyond it, handles are just dropped
+#: for the garbage collector).
+_POOL_LIMIT = 4096
+
 
 class EventHandle:
     """Handle to a scheduled event, usable to cancel it before it fires."""
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "owner",
+                 "pooled")
 
     def __init__(self, time: float, seq: int, callback: Callable[..., Any], args: tuple):
         self.time = time
@@ -34,10 +58,20 @@ class EventHandle:
         self.callback = callback
         self.args = args
         self.cancelled = False
+        #: Simulator that queued the handle — notified on cancel so the
+        #: live cancelled-count (and hence compaction) stays exact.
+        self.owner: Optional["Simulator"] = None
+        #: True for internally recycled handles (:meth:`Simulator.post_at`).
+        self.pooled = False
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Safe to call more than once."""
+        if self.cancelled or self.callback is None:
+            return  # already cancelled or already fired
         self.cancelled = True
+        owner = self.owner
+        if owner is not None:
+            owner._note_cancel()
 
     @property
     def active(self) -> bool:
@@ -79,6 +113,10 @@ class Simulator:
         self._now = 0.0
         self._running = False
         self._event_count = 0
+        #: Live count of cancelled handles still sitting in the heap.
+        self._cancelled = 0
+        #: Recycled handles for the no-cancel fast path (:meth:`post_at`).
+        self._pool: list[EventHandle] = []
         self.rng = random.Random(seed)
         self.seed = seed
 
@@ -103,8 +141,39 @@ class Simulator:
         if time < self._now:
             raise ValueError(f"cannot schedule at {time} before now={self._now}")
         handle = EventHandle(time, next(self._seq), callback, args)
+        handle.owner = self
         heapq.heappush(self._queue, handle)
         return handle
+
+    def post_at(self, time: float, callback: Callable[..., Any], *args: Any) -> None:
+        """Schedule a **non-cancellable** event at absolute time ``time``.
+
+        The fast path for hot call sites that never cancel (link generation
+        rounds, classical message delivery): the handle comes from an
+        internal free list and is recycled after firing.  No handle is
+        returned — a caller that might need :meth:`EventHandle.cancel` must
+        use :meth:`schedule_at` instead.
+        """
+        if time < self._now:
+            raise ValueError(f"cannot schedule at {time} before now={self._now}")
+        pool = self._pool
+        if pool:
+            handle = pool.pop()
+            handle.time = time
+            handle.seq = next(self._seq)
+            handle.callback = callback
+            handle.args = args
+        else:
+            handle = EventHandle(time, next(self._seq), callback, args)
+            handle.owner = self
+            handle.pooled = True
+        heapq.heappush(self._queue, handle)
+
+    def post(self, delay: float, callback: Callable[..., Any], *args: Any) -> None:
+        """Relative-delay variant of :meth:`post_at`."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule in the past (delay={delay})")
+        self.post_at(self._now + delay, callback, *args)
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
         """Run the event loop.
@@ -123,12 +192,14 @@ class Simulator:
         self._running = True
         fired = 0
         queue = self._queue
+        pool = self._pool
         pop = heapq.heappop
         try:
             while queue:
                 head = queue[0]
                 if head.cancelled:
                     pop(queue)
+                    self._cancelled -= 1
                     continue
                 if until is not None and head.time > until:
                     self._now = until
@@ -140,6 +211,8 @@ class Simulator:
                 if max_events is not None and fired > max_events:
                     raise RuntimeError(f"exceeded max_events={max_events}")
                 head._fire()
+                if head.pooled and len(pool) < _POOL_LIMIT:
+                    pool.append(head)
             else:
                 if until is not None and until > self._now:
                     self._now = until
@@ -151,9 +224,29 @@ class Simulator:
         self.run(until=None)
 
     def pending_events(self) -> int:
-        """Number of queued, non-cancelled events."""
-        return sum(1 for event in self._queue if not event.cancelled)
+        """Number of queued, non-cancelled events — O(1)."""
+        return len(self._queue) - self._cancelled
+
+    def _note_cancel(self) -> None:
+        """Account one cancellation; compact once the heap is >50% dead."""
+        self._cancelled += 1
+        if (self._cancelled * 2 > len(self._queue)
+                and len(self._queue) >= _COMPACT_MIN_QUEUE):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled handles from the heap and re-heapify.
+
+        In place (``[:]``) on purpose: :meth:`run` holds a reference to the
+        queue list across callbacks, and a callback cancelling events may
+        trigger compaction mid-loop.
+        """
+        self._queue[:] = [handle for handle in self._queue
+                          if not handle.cancelled]
+        heapq.heapify(self._queue)
+        self._cancelled = 0
 
     def reset_time_guard(self) -> None:  # pragma: no cover - debugging aid
         """Drop all pending events (used by a few torture tests)."""
         self._queue.clear()
+        self._cancelled = 0

@@ -1,0 +1,249 @@
+"""Structure-of-arrays store for Bell-diagonal pair weights.
+
+Every live :class:`~repro.quantum.bellstate.BellPairState` keeps its four
+Bell weights as one **row of a shared ``(N, 4)`` float64 matrix** managed
+here, instead of owning a private 4-vector.  The state object becomes a thin
+row handle; the closed-family evolution the protocol stack performs on link
+pairs — dephasing, depolarising, T1/T2 aging, swap composition, measurement
+error probabilities — is implemented once in this module as **row-sliced
+array operations** that work identically on a single row (the per-pair hot
+path) and on an arbitrary index vector of rows (batch callers such as the
+near-term model's attempt-noise charge, which dephases every stored qubit of
+a device at once).
+
+Why a store:
+
+* batch evolution of k pairs is one numpy call instead of k Python-level
+  state methods (amortising dispatch and temporary allocation),
+* all live weights sit in one contiguous allocation with a free-list, so
+  pair materialisation recycles rows instead of allocating arrays,
+* the layout is the natural substrate for future whole-population
+  operations (aging every parked pair at a timeslot boundary).
+
+Rows are recycled through a LIFO free-list; the matrix doubles when it
+fills and never shrinks (the benchmarks record max-RSS, so growth is
+visible in the perf trajectory).  The closed forms are exactly those of
+:mod:`repro.quantum.bellstate` — the property tests pin every batch
+operation to the per-pair path within 1e-9.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+import numpy as np
+
+#: ``XOR_IDX[k, i] = k ^ i`` — index table for Klein four-group convolutions
+#: and Pauli-frame permutations without Python loops (shared with
+#: :mod:`repro.quantum.bellstate`).
+XOR_IDX = np.array([[k ^ i for i in range(4)] for k in range(4)])
+
+#: Column permutations of the closed-family channels: phase-flip partner
+#: (B0↔B2, B1↔B3), bit-flip partner and bit+phase partner.
+_PHASE_COLS = (2, 3, 0, 1)
+_BIT_COLS = (1, 0, 3, 2)
+_BOTH_COLS = (3, 2, 1, 0)
+
+Rows = Union[int, Sequence[int], np.ndarray]
+
+
+def _per_row(value, rows: np.ndarray) -> np.ndarray:
+    """Broadcast a scalar or per-row parameter to column shape ``(k, 1)``."""
+    arr = np.asarray(value, dtype=float)
+    if arr.ndim == 0:
+        return arr.reshape(1, 1)
+    if arr.shape != rows.shape:
+        raise ValueError(f"parameter shape {arr.shape} does not match "
+                         f"rows shape {rows.shape}")
+    return arr.reshape(-1, 1)
+
+
+def decoherence_probabilities_array(elapsed, t1, t2):
+    """Vectorised twin of :func:`repro.quantum.channels.decoherence_probabilities`.
+
+    Accepts scalars or arrays (broadcast together); returns
+    ``(gamma, dephase_prob)`` arrays.  Infinite lifetimes map to zero
+    probability exactly as in the scalar closed form.
+    """
+    elapsed = np.asarray(elapsed, dtype=float)
+    t1 = np.asarray(t1, dtype=float)
+    t2 = np.asarray(t2, dtype=float)
+    if np.any(elapsed < 0):
+        raise ValueError("elapsed time must be non-negative")
+    with np.errstate(divide="ignore"):
+        inv_t1 = np.where(np.isinf(t1), 0.0, 1.0 / t1)
+        inv_t2 = np.where(np.isinf(t2), 0.0, 1.0 / t2)
+    gamma = np.where(np.isinf(t1), 0.0, -np.expm1(-elapsed * inv_t1))
+    t_phi_inverse = np.maximum(inv_t2 - inv_t1 / 2.0, 0.0)
+    dephase = np.where(np.isinf(t2), 0.0,
+                       -np.expm1(-elapsed * t_phi_inverse) / 2.0)
+    return gamma, dephase
+
+
+class BellWeightStore:
+    """All live Bell-diagonal pairs as rows of one ``(N, 4)`` matrix."""
+
+    def __init__(self, capacity: int = 512):
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self._w = np.zeros((capacity, 4), dtype=float)
+        # LIFO free-list: low rows are handed out first, keeping the live
+        # region dense at the front of the matrix.
+        self._free: list[int] = list(range(capacity - 1, -1, -1))
+        self.live = 0
+        #: High-water mark of simultaneously live rows (diagnostics).
+        self.peak_live = 0
+
+    @property
+    def capacity(self) -> int:
+        return self._w.shape[0]
+
+    # ------------------------------------------------------------------
+    # Row lifecycle
+    # ------------------------------------------------------------------
+
+    def alloc(self, weights) -> int:
+        """Claim a row and copy ``weights`` into it."""
+        free = self._free
+        if not free:
+            self._grow()
+            free = self._free
+        row = free.pop()
+        self._w[row] = weights
+        self.live += 1
+        if self.live > self.peak_live:
+            self.peak_live = self.live
+        return row
+
+    def release(self, row: int) -> None:
+        """Return a row to the free-list (its contents become garbage)."""
+        self._free.append(row)
+        self.live -= 1
+
+    def _grow(self) -> None:
+        old = self._w
+        n = old.shape[0]
+        bigger = np.zeros((2 * n, 4), dtype=float)
+        bigger[:n] = old
+        self._w = bigger
+        self._free.extend(range(2 * n - 1, n - 1, -1))
+
+    # ------------------------------------------------------------------
+    # Row access
+    # ------------------------------------------------------------------
+
+    def row(self, row: int) -> np.ndarray:
+        """Writable length-4 view of one row (the per-pair hot path)."""
+        return self._w[row]
+
+    def get_rows(self, rows: Rows) -> np.ndarray:
+        """Copy of the selected rows as a ``(k, 4)`` matrix."""
+        return self._w[np.asarray(rows, dtype=np.intp)].reshape(-1, 4)
+
+    # ------------------------------------------------------------------
+    # Batch evolution (row-sliced twins of the BellPairState channels)
+    # ------------------------------------------------------------------
+
+    def pauli_rows(self, rows: Rows, frame_index: int) -> None:
+        """Pauli ``X^b Z^a`` on one half of each selected pair."""
+        frame_index = int(frame_index) & 0b11
+        if not frame_index:
+            return
+        rows = np.asarray(rows, dtype=np.intp).reshape(-1)
+        self._w[rows] = self._w[rows][:, XOR_IDX[frame_index]]
+
+    def dephase_rows(self, rows: Rows, p) -> None:
+        """Phase-flip channel on one half of each selected pair."""
+        rows = np.asarray(rows, dtype=np.intp).reshape(-1)
+        p = _per_row(p, rows)
+        w = self._w[rows]
+        self._w[rows] = (1.0 - p) * w + p * w[:, _PHASE_COLS]
+
+    def depolarize_rows(self, rows: Rows, p) -> None:
+        """Single-qubit depolarising channel on one half of each pair."""
+        rows = np.asarray(rows, dtype=np.intp).reshape(-1)
+        p = _per_row(p, rows)
+        w = self._w[rows]
+        self._w[rows] = (1.0 - 4.0 * p / 3.0) * w + p / 3.0
+
+    def two_qubit_depolarize_rows(self, rows: Rows, p) -> None:
+        """Two-qubit depolarising noise across each selected pair."""
+        rows = np.asarray(rows, dtype=np.intp).reshape(-1)
+        p = _per_row(p, rows)
+        w = self._w[rows]
+        self._w[rows] = (1.0 - 16.0 * p / 15.0) * w + (16.0 * p / 15.0) / 4.0
+
+    def decohere_rows(self, rows: Rows, elapsed, t1, t2) -> None:
+        """T1/T2 memory channel on one half of each selected pair.
+
+        ``elapsed``/``t1``/``t2`` are scalars or per-row arrays.  Same
+        closed form as :meth:`BellPairState.apply_decoherence`: exact
+        dephasing plus the Bell-twirled amplitude-damping transfer.
+        """
+        rows = np.asarray(rows, dtype=np.intp).reshape(-1)
+        gamma, dephase = decoherence_probabilities_array(elapsed, t1, t2)
+        gamma = _per_row(np.broadcast_to(gamma, rows.shape), rows)
+        dephase = _per_row(np.broadcast_to(dephase, rows.shape), rows)
+        w = self._w[rows]
+        if np.any(gamma > 0):
+            root = np.sqrt(1.0 - gamma)
+            same = (2.0 - gamma) / 4.0 + root / 2.0
+            phase_partner = (2.0 - gamma) / 4.0 - root / 2.0
+            parity_partner = gamma / 4.0
+            w = (same * w
+                 + phase_partner * w[:, _PHASE_COLS]
+                 + parity_partner * (w[:, _BIT_COLS] + w[:, _BOTH_COLS]))
+        self._w[rows] = (1.0 - dephase) * w + dephase * w[:, _PHASE_COLS]
+
+    # ------------------------------------------------------------------
+    # Batch read-outs
+    # ------------------------------------------------------------------
+
+    def error_probability_rows(self, rows: Rows, basis: str) -> np.ndarray:
+        """Per-pair probability of disagreeing with the Φ+ correlation
+        pattern in a Pauli basis (Z/X correlated, Y anti-correlated)."""
+        rows = np.asarray(rows, dtype=np.intp).reshape(-1)
+        w = self._w[rows]
+        if basis == "Z":
+            return w[:, 1] + w[:, 3]
+        if basis == "X":
+            return w[:, 2] + w[:, 3]
+        if basis == "Y":
+            return w[:, 1] + w[:, 2]
+        raise ValueError(f"unknown basis {basis!r}")
+
+    def fidelity_rows(self, rows: Rows, bell_index: int) -> np.ndarray:
+        """Per-pair fidelity to one Bell state (a column slice)."""
+        rows = np.asarray(rows, dtype=np.intp).reshape(-1)
+        return self._w[rows, int(bell_index) & 0b11]
+
+    # ------------------------------------------------------------------
+    # Swap composition
+    # ------------------------------------------------------------------
+
+    def swap_rows(self, row_a: int, row_b: int,
+                  two_qubit_depolar: float = 0.0,
+                  single_qubit_depolar: float = 0.0) -> np.ndarray:
+        """XOR-convolve two rows through a noisy Bell-state measurement.
+
+        Returns the **outcome-unconditioned** convolution (the caller
+        permutes by the sampled outcome) — the identical algebra of
+        :func:`repro.quantum.bellstate.swap_measure`.
+        """
+        wa = self._w[row_a]
+        wb = self._w[row_b]
+        convolved = wb[XOR_IDX] @ wa
+        if two_qubit_depolar > 0:
+            convolved = ((1.0 - 16.0 * two_qubit_depolar / 15.0) * convolved
+                         + (16.0 * two_qubit_depolar / 15.0) / 4.0)
+        if single_qubit_depolar > 0:
+            mix = 2.0 * single_qubit_depolar / 3.0
+            convolved = (1.0 - mix) * convolved + mix * convolved[XOR_IDX[2]]
+        return convolved
+
+
+#: Process-wide store every :class:`BellPairState` allocates from.  One
+#: store (rather than one per Simulator) keeps the hot constructor free of
+#: plumbing; nothing observable depends on row indices, so sharing across
+#: concurrent networks in one process is safe.
+STORE = BellWeightStore()

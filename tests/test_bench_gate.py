@@ -114,19 +114,76 @@ class TestSpeedupFloors:
         code = gate.main([str(fresh), "--check-speedups",
                           "--baseline", str(baseline)])
         assert code == 1
-        assert "speedup floors violated" in capsys.readouterr().out
+        assert "floors violated" in capsys.readouterr().out
 
     def test_cli_flag_passes_on_healthy_ratios(self, tmp_path, capsys):
         baseline = gate.newest_baseline()
         payload = json.loads(baseline.read_text())
         payload["speedup_bell_over_dm"] = {
             "bsm": 26.0, "link_delivery_round": 1.5, "traffic_round": 2.0}
+        payload["traffic_pairs_per_s"] = {"bell": 10000.0, "dm": 9900.0}
         fresh = tmp_path / "fresh.json"
         fresh.write_text(json.dumps(payload))
         code = gate.main([str(fresh), "--check-speedups",
                           "--baseline", str(baseline)])
         assert code == 0
-        assert "speedup floors hold" in capsys.readouterr().out
+        assert "throughput floors hold" in capsys.readouterr().out
+
+
+class TestThroughputFloors:
+    """The simulated pairs-per-second gate (also under `--check-speedups`).
+
+    The vectorised-core acceptance criterion: the traffic_soak scenario
+    must sustain >= 9360 pairs per simulated second on the bell formalism
+    (10x the PR 5 scenario's 936).  Simulated rate is seed-deterministic,
+    so the floor has no noise tolerance to manage.
+    """
+
+    def test_floor_is_10x_the_pre_vectorised_rate(self):
+        assert gate.THROUGHPUT_FLOORS["bell"] == pytest.approx(9360.0)
+
+    def test_rate_above_floor_passes(self):
+        payload = {"traffic_pairs_per_s": {"bell": 10285.0}}
+        assert gate.check_throughput(payload) == []
+
+    def test_rate_below_floor_fails(self):
+        payload = {"traffic_pairs_per_s": {"bell": 936.0}}
+        violations = gate.check_throughput(payload)
+        assert len(violations) == 1
+        assert "bell" in violations[0]
+        assert "936" in violations[0]
+
+    def test_missing_section_is_skipped(self):
+        assert gate.check_throughput({}) == []
+        assert gate.check_throughput({"traffic_pairs_per_s": {}}) == []
+        # dm has no floor; its presence alone must not fail anything.
+        assert gate.check_throughput(
+            {"traffic_pairs_per_s": {"dm": 1.0}}) == []
+
+    def test_custom_floor_applies(self):
+        payload = {"traffic_pairs_per_s": {"bell": 500.0}}
+        assert gate.check_throughput(payload, floors={"bell": 600.0})
+        assert not gate.check_throughput(payload, floors={"bell": 400.0})
+
+    def test_cli_flag_enforces_throughput_floor(self, tmp_path, capsys):
+        baseline = gate.newest_baseline()
+        payload = json.loads(baseline.read_text())
+        payload["speedup_bell_over_dm"] = {
+            "bsm": 26.0, "link_delivery_round": 1.5, "traffic_round": 2.5}
+        payload["traffic_pairs_per_s"] = {"bell": 5000.0}
+        fresh = tmp_path / "fresh.json"
+        fresh.write_text(json.dumps(payload))
+        code = gate.main([str(fresh), "--check-speedups",
+                          "--baseline", str(baseline)])
+        assert code == 1
+        assert "floors violated" in capsys.readouterr().out
+
+    def test_committed_baseline_passes_its_own_floors(self):
+        """The repository's own newest BENCH json must satisfy the gates
+        it ships — otherwise CI is red on an untouched checkout."""
+        payload = json.loads(gate.newest_baseline().read_text())
+        assert gate.check_throughput(payload) == []
+        assert gate.check_speedups(payload) == []
 
 
 class TestBaselineSelection:

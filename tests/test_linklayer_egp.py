@@ -200,6 +200,92 @@ def test_near_term_serializes_device():
     assert len(seen) >= 2
 
 
+def _run_telemetry(batched, seed=31, until=5 * S, script=None):
+    """Full delivery trace of one link run; ``script`` mutates mid-run."""
+    sim, link, node_a, node_b, inbox_a, inbox_b = make_link(seed=seed)
+    link.batched = batched
+    trace = []
+
+    def consume(end, node):
+        def handler(delivery):
+            trace.append((end, sim.now, delivery.entanglement_id,
+                          int(delivery.bell_index), delivery.purpose_id,
+                          round(delivery.goodness, 12)))
+            drain(node, delivery)
+        return handler
+
+    link.register_handler("alice", consume("a", node_a))
+    link.register_handler("bob", consume("b", node_b))
+    link.set_request("vc0", min_fidelity=0.9, lpr=50.0)
+    if script:
+        script(sim, link)
+    sim.run(until=until)
+    return (trace, link.attempts_made, link.pairs_generated,
+            link.busy_time, sim.now, sim.events_processed > 0)
+
+
+class TestBatchedScalarEquivalence:
+    """The timeslot batcher must be an *optimisation*: byte-identical
+    delivery telemetry to the event-per-round scalar path for the same
+    seed, including around every mid-chain interrupt (the settle path)."""
+
+    def test_steady_state_trace_identical(self):
+        batched = _run_telemetry(True)
+        scalar = _run_telemetry(False)
+        assert batched[:-1] == scalar[:-1]
+        assert batched[0], "no pairs delivered"
+
+    def test_trace_identical_across_seeds(self):
+        for seed in (1, 7, 12):
+            assert _run_telemetry(True, seed=seed)[:4] \
+                == _run_telemetry(False, seed=seed)[:4]
+
+    def test_mid_run_set_request_settles_chain(self):
+        # A second purpose arriving mid-chain interrupts the batcher at an
+        # arbitrary (non-boundary) time; the settle path must replay the
+        # in-flight slice exactly as the scalar engine would.
+        def script(sim, link):
+            sim.schedule(0.23 * S,
+                         lambda: link.set_request("vc1", min_fidelity=0.9,
+                                                  lpr=50.0))
+
+        batched = _run_telemetry(True, script=script)
+        scalar = _run_telemetry(False, script=script)
+        assert batched[:-1] == scalar[:-1]
+        purposes = {entry[4] for entry in batched[0]}
+        assert purposes == {"vc0", "vc1"}
+
+    def test_mid_run_end_request_settles_chain(self):
+        def script(sim, link):
+            sim.schedule(0.31 * S, link.end_request, "vc0")
+
+        batched = _run_telemetry(True, script=script)
+        scalar = _run_telemetry(False, script=script)
+        assert batched[:-1] == scalar[:-1]
+
+    def test_wrr_two_purposes_identical(self):
+        # Multiple eligible requests exercise the shadow virtual-time
+        # replay inside the chain pre-computation.
+        def script(sim, link):
+            link.set_request("vc1", min_fidelity=0.85, lpr=50.0)
+
+        batched = _run_telemetry(True, seed=41, script=script)
+        scalar = _run_telemetry(False, seed=41, script=script)
+        assert batched[:-1] == scalar[:-1]
+
+    def test_batched_uses_fewer_events(self):
+        sims = {}
+        for batched in (True, False):
+            sim, link, node_a, node_b, *_ = make_link(seed=51)
+            link.batched = batched
+            link.register_handler("alice", lambda d, n=node_a: drain(n, d))
+            link.register_handler("bob", lambda d, n=node_b: drain(n, d))
+            link.set_request("vc0", min_fidelity=0.9, lpr=50.0)
+            sim.run(until=5 * S)
+            sims[batched] = sim.events_processed
+        assert sims[True] < sims[False]
+
+
 def test_statistics_counters():
     sim, link, node_a, node_b, inbox_a, inbox_b = make_link(seed=29)
     link.register_handler("alice", lambda d: drain(node_a, d))

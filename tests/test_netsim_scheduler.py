@@ -139,6 +139,82 @@ def test_pending_events_count():
     assert sim.pending_events() == 1
 
 
+def test_cancelled_heap_compacts_beyond_half_dead():
+    sim = Simulator()
+    fired = []
+    handles = [sim.schedule(float(i + 1), lambda: None) for i in range(100)]
+    keep = sim.schedule(1000.0, fired.append, 1)
+    assert len(sim._queue) == 101
+    # Cancelling past the 50% mark triggers an in-place compaction.
+    for handle in handles:
+        handle.cancel()
+    assert len(sim._queue) < 101
+    assert sim.pending_events() == 1
+    assert keep.active
+    sim.run()
+    assert fired == [1]
+
+
+def test_small_heaps_skip_compaction():
+    sim = Simulator()
+    handles = [sim.schedule(float(i + 1), lambda: None) for i in range(10)]
+    for handle in handles:
+        handle.cancel()
+    # Below _COMPACT_MIN_QUEUE the dead entries stay until popped.
+    assert len(sim._queue) == 10
+    assert sim.pending_events() == 0
+    sim.run()
+    assert sim.events_processed == 0
+
+
+def test_compaction_during_run_keeps_order():
+    sim = Simulator()
+    fired = []
+    victims = [sim.schedule(50.0 + i, fired.append, f"dead{i}")
+               for i in range(100)]
+    sim.schedule(1.0, lambda: [handle.cancel() for handle in victims])
+    sim.schedule(40.0, fired.append, "a")
+    sim.schedule(60.0 + 100, fired.append, "b")
+    sim.run()
+    assert fired == ["a", "b"]
+
+
+def test_post_at_fires_in_fifo_order_with_schedule():
+    sim = Simulator()
+    fired = []
+    sim.schedule_at(5.0, fired.append, "handle")
+    sim.post_at(5.0, fired.append, "pooled")
+    sim.post(0.0, fired.append, "early")
+    sim.run()
+    assert fired == ["early", "handle", "pooled"]
+    assert sim.now == 5.0
+
+
+def test_post_at_recycles_handles():
+    sim = Simulator()
+    for _ in range(50):
+        sim.post(1.0, lambda: None)
+    sim.run()
+    pool_size = len(sim._pool)
+    assert pool_size > 0
+    # A second wave reuses the pooled handles instead of growing the pool.
+    for _ in range(pool_size):
+        sim.post(1.0, lambda: None)
+    assert len(sim._pool) == 0
+    sim.run()
+    assert len(sim._pool) == pool_size
+
+
+def test_post_at_in_past_rejected():
+    sim = Simulator()
+    sim.schedule(10.0, lambda: None)
+    sim.run()
+    with pytest.raises(ValueError):
+        sim.post_at(5.0, lambda: None)
+    with pytest.raises(ValueError):
+        sim.post(-1.0, lambda: None)
+
+
 def test_run_until_advances_time_even_with_empty_queue():
     sim = Simulator()
     sim.run(until=3 * S)

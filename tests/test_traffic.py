@@ -186,6 +186,36 @@ def test_engine_deterministic_for_seed():
         assert first.classes[name].__dict__ == second.classes[name].__dict__
 
 
+def _grid_run(batched: bool):
+    """The seed-7 grid workload with the EGP batcher on or off."""
+    net = build_topology("grid", 3, seed=7, formalism="bell")
+    for link in net.links.values():
+        link.batched = batched
+    engine = TrafficEngine(net, circuits=4, load=0.8, seed=7)
+    report = engine.run(horizon_s=0.5, drain_s=0.3)
+    return report
+
+
+def test_batched_egp_identical_telemetry_to_scalar():
+    """Whole-stack determinism regression for the timeslot batcher: the
+    seed-7 grid workload must produce byte-identical telemetry with
+    batching on (default) and off (event per slice)."""
+    batched = _grid_run(True)
+    scalar = _grid_run(False)
+    assert batched.total_sessions == scalar.total_sessions
+    assert batched.total_confirmed_pairs == scalar.total_confirmed_pairs
+    assert batched.fidelities == scalar.fidelities
+    assert batched.throughput_pairs_per_s == scalar.throughput_pairs_per_s
+    assert [s.pairs_generated for s in batched.links] \
+        == [s.pairs_generated for s in scalar.links]
+    assert [s.utilisation for s in batched.links] \
+        == [s.utilisation for s in scalar.links]
+    for name in batched.classes:
+        assert batched.classes[name].__dict__ \
+            == scalar.classes[name].__dict__
+    assert batched.total_confirmed_pairs > 0
+
+
 def test_engine_both_formalisms_complete():
     for formalism in ("dm", "bell"):
         _, report = _small_run(seed=23, formalism=formalism)

@@ -1,0 +1,243 @@
+"""Property tests for the SoA Bell-weight store.
+
+Every batch row operation must match the per-pair ``BellPairState``
+channel it mirrors within 1e-9 — the store and the state object are two
+views of the same closed forms, and these pins keep them from drifting.
+Also pins the numpy-RNG block-draw equivalence the batched EGP relies on.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.quantum.bellstate import (
+    BellPairState, create_bell_diagonal_pair, swap_measure,
+)
+from repro.quantum.channels import decoherence_probabilities
+from repro.quantum.weightstore import (
+    STORE, XOR_IDX, BellWeightStore, decoherence_probabilities_array,
+)
+
+#: A spread of Bell-diagonal weight vectors (normalised below).
+WEIGHT_SETS = [
+    (1.0, 0.0, 0.0, 0.0),
+    (0.97, 0.01, 0.01, 0.01),
+    (0.7, 0.1, 0.15, 0.05),
+    (0.25, 0.25, 0.25, 0.25),
+    (0.4, 0.3, 0.2, 0.1),
+]
+
+
+def _norm(weights):
+    arr = np.asarray(weights, dtype=float)
+    return arr / arr.sum()
+
+
+def make_pairs():
+    """One live pair per WEIGHT_SETS entry; returns (states, rows)."""
+    states = []
+    for i, weights in enumerate(WEIGHT_SETS):
+        qubit_a, qubit_b = create_bell_diagonal_pair(
+            _norm(weights), f"a{i}", f"b{i}")
+        states.append(qubit_a.state)
+    return states, np.array([state._row for state in states])
+
+
+class TestRowLifecycle:
+    def test_alloc_copies_and_release_recycles_lifo(self):
+        store = BellWeightStore(capacity=4)
+        weights = _norm((0.7, 0.1, 0.1, 0.1))
+        row = store.alloc(weights)
+        assert np.allclose(store.row(row), weights)
+        assert store.live == 1
+        store.release(row)
+        assert store.live == 0
+        assert store.alloc(weights) == row  # LIFO: freed row reused first
+
+    def test_grow_preserves_live_rows(self):
+        store = BellWeightStore(capacity=2)
+        rows = [store.alloc(_norm(w)) for w in WEIGHT_SETS]
+        assert store.capacity >= len(WEIGHT_SETS)
+        for row, weights in zip(rows, WEIGHT_SETS):
+            assert np.allclose(store.row(row), _norm(weights))
+        assert store.peak_live == len(WEIGHT_SETS)
+
+    def test_state_lifecycle_releases_rows(self):
+        live_before = STORE.live
+        states, _ = make_pairs()
+        assert STORE.live == live_before + len(states)
+        for state in states:
+            state.remove(state.qubits[0])
+        assert STORE.live == live_before
+
+    def test_dropped_state_recovered_by_del(self):
+        live_before = STORE.live
+        qubit_a, _ = create_bell_diagonal_pair(_norm((1, 0, 0, 0)))
+        state = qubit_a.state
+        assert STORE.live == live_before + 1
+        qubit_a.state = None
+        state.qubits[1].state = None
+        del state, qubit_a
+        assert STORE.live == live_before
+
+
+class TestBatchOpsMatchPerPair:
+    """Each *_rows op vs the per-pair BellPairState channel, within 1e-9."""
+
+    def _compare(self, batch_op, per_pair_op):
+        states, rows = make_pairs()
+        reference = []
+        for state in states:
+            per_pair_op(state)
+            reference.append(state.weights.copy())
+            state.remove(state.qubits[0])
+        states, rows = make_pairs()
+        batch_op(rows)
+        got = STORE.get_rows(rows)
+        np.testing.assert_allclose(got, np.array(reference), atol=1e-9)
+        for state in states:
+            state.remove(state.qubits[0])
+
+    @pytest.mark.parametrize("frame", [0, 1, 2, 3])
+    def test_pauli_rows(self, frame):
+        self._compare(
+            lambda rows: STORE.pauli_rows(rows, frame),
+            lambda s: s.apply_pauli(frame, s.qubits[0]))
+
+    @pytest.mark.parametrize("p", [0.0, 0.02, 0.37])
+    def test_dephase_rows(self, p):
+        self._compare(
+            lambda rows: STORE.dephase_rows(rows, p),
+            lambda s: s.apply_dephasing(p, s.qubits[0]))
+
+    @pytest.mark.parametrize("p", [0.0, 0.01, 0.3])
+    def test_depolarize_rows(self, p):
+        self._compare(
+            lambda rows: STORE.depolarize_rows(rows, p),
+            lambda s: s.apply_depolarizing(p, s.qubits[0]))
+
+    @pytest.mark.parametrize("p", [0.0, 0.05, 0.4])
+    def test_two_qubit_depolarize_rows(self, p):
+        self._compare(
+            lambda rows: STORE.two_qubit_depolarize_rows(rows, p),
+            lambda s: s.apply_two_qubit_depolarizing(p))
+
+    @pytest.mark.parametrize("t1,t2", [
+        (3.6e12, 6e10),               # the paper's NV memory
+        (math.inf, 6e10),             # pure dephasing
+        (math.inf, math.inf),         # perfect memory: no-op
+    ])
+    def test_decohere_rows(self, t1, t2):
+        elapsed = 5e6
+        self._compare(
+            lambda rows: STORE.decohere_rows(rows, elapsed, t1, t2),
+            lambda s: s.apply_decoherence(elapsed, t1, t2, s.qubits[0]))
+
+    def test_decohere_rows_per_row_elapsed(self):
+        states, rows = make_pairs()
+        elapsed = np.array([1e6 * (i + 1) for i in range(len(states))])
+        reference = []
+        for state, dt in zip(states, elapsed):
+            state.apply_decoherence(float(dt), 3.6e12, 6e10, state.qubits[0])
+            reference.append(state.weights.copy())
+            state.remove(state.qubits[0])
+        states, rows = make_pairs()
+        STORE.decohere_rows(rows, elapsed, 3.6e12, 6e10)
+        np.testing.assert_allclose(STORE.get_rows(rows),
+                                   np.array(reference), atol=1e-9)
+        for state in states:
+            state.remove(state.qubits[0])
+
+    @pytest.mark.parametrize("basis", ["Z", "X", "Y"])
+    def test_error_probability_rows(self, basis):
+        states, rows = make_pairs()
+        reference = [state.error_probability(basis) for state in states]
+        np.testing.assert_allclose(
+            STORE.error_probability_rows(rows, basis), reference, atol=1e-9)
+        for state in states:
+            state.remove(state.qubits[0])
+
+    @pytest.mark.parametrize("bell_index", [0, 1, 2, 3])
+    def test_fidelity_rows(self, bell_index):
+        states, rows = make_pairs()
+        reference = [state.fidelity_to(bell_index) for state in states]
+        np.testing.assert_allclose(
+            STORE.fidelity_rows(rows, bell_index), reference, atol=1e-9)
+        for state in states:
+            state.remove(state.qubits[0])
+
+    def test_bad_parameter_shape_rejected(self):
+        states, rows = make_pairs()
+        with pytest.raises(ValueError, match="shape"):
+            STORE.dephase_rows(rows, np.array([0.1, 0.2]))
+        for state in states:
+            state.remove(state.qubits[0])
+
+
+class _FixedRng:
+    def __init__(self, value):
+        self.value = value
+
+    def random(self):
+        return self.value
+
+
+class TestSwapRows:
+    @pytest.mark.parametrize("outcome", [0, 1, 2, 3])
+    @pytest.mark.parametrize("p2,p1", [(0.0, 0.0), (0.02, 0.005)])
+    def test_swap_measure_matches_manual_convolution(self, outcome, p2, p1):
+        wa = _norm((0.9, 0.04, 0.04, 0.02))
+        wb = _norm((0.8, 0.1, 0.05, 0.05))
+        qa0, qa1 = create_bell_diagonal_pair(wa)
+        qb0, qb1 = create_bell_diagonal_pair(wb)
+        # Manual closed form: XOR-convolution + gate noise + outcome frame.
+        convolved = np.array([
+            sum(wa[j] * wb[k ^ j] for j in range(4)) for k in range(4)])
+        convolved = ((1 - 16 * p2 / 15) * convolved + (16 * p2 / 15) / 4)
+        mix = 2 * p1 / 3
+        convolved = (1 - mix) * convolved + mix * convolved[XOR_IDX[2]]
+        expected = convolved[XOR_IDX[outcome]]
+
+        got_outcome = swap_measure(qa1, qb0, _FixedRng(outcome / 4.0),
+                                   two_qubit_depolar=p2,
+                                   single_qubit_depolar=p1)
+        assert got_outcome == outcome
+        new_state = qa0.state
+        assert isinstance(new_state, BellPairState)
+        assert new_state is qb1.state
+        np.testing.assert_allclose(new_state.weights, expected, atol=1e-9)
+        assert new_state.trace() == pytest.approx(1.0, abs=1e-9)
+        new_state.remove(qa0)
+
+
+class TestDecoherenceArray:
+    def test_matches_scalar_closed_form(self):
+        for elapsed in (0.0, 1e3, 5e6, 2e9):
+            for t1, t2 in ((3.6e12, 6e10), (math.inf, 6e10),
+                           (1e9, 1e9), (math.inf, math.inf)):
+                gamma, dephase = decoherence_probabilities_array(
+                    elapsed, t1, t2)
+                ref_gamma, ref_dephase = decoherence_probabilities(
+                    elapsed, t1, t2)
+                assert float(gamma) == pytest.approx(ref_gamma, abs=1e-12)
+                assert float(dephase) == pytest.approx(ref_dephase, abs=1e-12)
+
+    def test_negative_elapsed_rejected(self):
+        with pytest.raises(ValueError):
+            decoherence_probabilities_array(-1.0, 1e9, 1e9)
+
+
+class TestRngBlockEquivalence:
+    """The batched EGP refills a 256-draw uniform block; block draws must
+    equal the same generator's sequential draws or batching would change
+    the trajectory."""
+
+    def test_block_equals_sequential(self):
+        block = np.random.default_rng(1234).random(64)
+        sequential = [np.random.default_rng(1234).random()
+                      for _ in range(1)]  # first draw sanity
+        assert block[0] == sequential[0]
+        rng = np.random.default_rng(1234)
+        one_by_one = np.array([rng.random() for _ in range(64)])
+        np.testing.assert_array_equal(block, one_by_one)
