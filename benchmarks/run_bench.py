@@ -110,6 +110,11 @@ TRAFFIC_STATS: dict[str, float] = {}
 #: time).
 EVENT_STATS: dict[str, int] = {}
 
+#: Final metrics-registry counters of the soak run, per formalism — the
+#: same series ``--metrics-out`` streams, recorded here so BENCH files
+#: carry the registry view of the scenario alongside the wall times.
+OBS_STATS: dict[str, dict] = {}
+
 
 def bench_traffic_round(formalism: str):
     """Sustained concurrent traffic: 8 circuits on a 3x3 grid.
@@ -155,6 +160,11 @@ def bench_traffic_soak(formalism: str):
         assert report.total_confirmed_pairs > 0
         TRAFFIC_STATS[formalism] = round(report.throughput_pairs_per_s, 2)
         EVENT_STATS[f"traffic_soak_{formalism}"] = net.sim.events_processed
+        from repro.obs import REQUIRED_SERIES
+
+        counters = net.obs.snapshot()["counters"]
+        OBS_STATS[formalism] = {name: counters[name]
+                                for name in REQUIRED_SERIES}
         return report.total_confirmed_pairs
 
     return run
@@ -358,6 +368,10 @@ def main(argv=None) -> int:
             print(f"soak throughput ({formalism}): {value} pairs/s")
     if EVENT_STATS:
         payload["events_processed"] = dict(sorted(EVENT_STATS.items()))
+    if OBS_STATS:
+        # The soak's final registry counters (what a --metrics-out final
+        # snapshot would carry) — deterministic for a fixed seed.
+        payload["obs_counters"] = dict(sorted(OBS_STATS.items()))
     try:
         import resource
 

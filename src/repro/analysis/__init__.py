@@ -7,14 +7,26 @@ from .experiments import (
     render_table,
     run_seeds,
 )
-from .stats import Cdf, LatencySummary, mean, percentile, standard_error, throughput
-from .tracing import EventLog, TraceEvent, attach_trace
+from .stats import (
+    Cdf,
+    LatencySummary,
+    P2Quantile,
+    mean,
+    percentile,
+    standard_error,
+    throughput,
+)
+from .tracing import EventLog, Span, SpanTracer, TraceEvent, attach_trace, attach_tracer
 
 __all__ = [
     "EventLog",
+    "Span",
+    "SpanTracer",
     "TraceEvent",
     "attach_trace",
+    "attach_tracer",
     "Cdf",
+    "P2Quantile",
     "LatencySummary",
     "mean",
     "percentile",

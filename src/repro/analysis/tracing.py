@@ -1,14 +1,24 @@
-"""Protocol event tracing.
+"""Protocol event tracing: flat event logs and causal span trees.
 
-A lightweight event log that the QNP engines append to when attached.
-Used for debugging, for the tests that assert protocol-level orderings,
-and by ``examples/sequence_trace.py`` to render the paper's Fig 6 message
-sequence from a live run.
+A lightweight event log that the QNP engines and link-layer EGPs append
+to when attached.  Used for debugging, for the tests that assert
+protocol-level orderings, and by ``examples/sequence_trace.py`` to render
+the paper's Fig 6 message sequence from a live run.
+
+:class:`SpanTracer` extends the flat log with *causal spans*: every
+recorded event becomes a point span with an ID and a parent link, and
+long-lived activities (a circuit's lifetime, a session from submit to
+completion) become interval spans, so one session's lifecycle is a
+walkable tree (submit → route → install → generate → swap → deliver →
+app consume).  The flat :class:`EventLog` API — ``of_kind``,
+``render_sequence`` and friends — keeps working on a tracer unchanged:
+it is simply a view over the point spans.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import json
+from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
 
@@ -77,9 +87,186 @@ class EventLog:
         return "\n".join(lines)
 
 
-def attach_trace(net) -> EventLog:
-    """Attach a shared event log to every QNP engine in a network."""
-    log = EventLog()
+@dataclass
+class Span:
+    """One node of a causal span tree.
+
+    A span is either an *interval* (``t_end`` set when the activity
+    closes, ``None`` while it is still open) or a *point* event
+    (``t_end == t_start``).  ``parent_id`` links it into the tree;
+    root spans (circuits) have ``parent_id is None``.
+    """
+
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    node: str
+    t_start: float
+    t_end: Optional[float] = None
+    attrs: dict = field(default_factory=dict)
+
+    @property
+    def duration(self) -> Optional[float]:
+        """Span length in ns, or None while the span is still open."""
+        if self.t_end is None:
+            return None
+        return self.t_end - self.t_start
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable representation (one JSONL line)."""
+        return {"span_id": self.span_id, "parent_id": self.parent_id,
+                "name": self.name, "node": self.node,
+                "t_start": self.t_start, "t_end": self.t_end,
+                "attrs": self.attrs}
+
+
+#: Detail keys that resolve a recorded event's parent span, tried in
+#: order: a ``request=`` detail parents under that session's span, a
+#: ``purpose=`` detail under the circuit owning that link label (the
+#: network registers the aliases at install time), a ``circuit=`` detail
+#: under the circuit span itself.
+_PARENT_KEYS = (("request", "session"), ("purpose", "purpose"),
+                ("circuit", "circuit"))
+
+
+class SpanTracer(EventLog):
+    """An :class:`EventLog` whose events form a causal span tree.
+
+    Producers keep calling the flat :meth:`record` API; the tracer turns
+    each event into a point span and infers its parent from the event's
+    detail (``request=`` → session span, ``circuit=``/``purpose=`` →
+    circuit span).  Interval spans are opened with :meth:`begin` under a
+    lookup *key* — e.g. ``("circuit", circuit_id)`` or ``("session",
+    request_id)`` — and closed with :meth:`end`.  Keys stay resolvable
+    after a span closes, so late events (an EXPIRE racing a completed
+    request) still land in the right subtree.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self.spans: list[Span] = []
+        self._index: dict[tuple, Span] = {}
+        self._next_id = 1
+
+    def _new_span(self, name: str, node: str, t_start: float,
+                  t_end: Optional[float], parent: Optional[Span],
+                  attrs: dict) -> Span:
+        span = Span(span_id=self._next_id,
+                    parent_id=None if parent is None else parent.span_id,
+                    name=name, node=node, t_start=t_start, t_end=t_end,
+                    attrs=attrs)
+        self._next_id += 1
+        self.spans.append(span)
+        return span
+
+    def begin(self, name: str, node: str, time: float, key: tuple = None,
+              parent: Optional[Span] = None, **attrs) -> Span:
+        """Open an interval span, optionally registered under ``key``."""
+        span = self._new_span(name, node, time, None, parent, attrs)
+        if key is not None:
+            self._index[key] = span
+        return span
+
+    def end(self, key_or_span, time: float) -> Optional[Span]:
+        """Close an interval span by lookup key or by the span itself."""
+        span = (key_or_span if isinstance(key_or_span, Span)
+                else self._index.get(key_or_span))
+        if span is not None and span.t_end is None:
+            span.t_end = time
+        return span
+
+    def alias(self, key: tuple, span: Span) -> None:
+        """Register an extra lookup key for ``span`` (e.g. link labels)."""
+        self._index[key] = span
+
+    def lookup(self, key: tuple) -> Optional[Span]:
+        """The span registered under ``key``, or None."""
+        return self._index.get(key)
+
+    def point(self, name: str, node: str, time: float,
+              parent: Optional[Span] = None, **attrs) -> Span:
+        """Add a point span (an instantaneous event) to the tree."""
+        return self._new_span(name, node, time, time, parent, attrs)
+
+    def record(self, time: float, node: str, kind: str, **detail) -> None:
+        """Flat-log API: also files the event as a point span."""
+        super().record(time, node, kind, **detail)
+        parent = None
+        for detail_key, prefix in _PARENT_KEYS:
+            if detail_key in detail:
+                parent = self._index.get((prefix, detail[detail_key]))
+                if parent is not None:
+                    break
+        self.point(kind, node, time, parent=parent, **detail)
+        if kind == "REQUEST_DONE" and "request" in detail:
+            self.end(("session", detail["request"]), time)
+
+    def children(self, span: Span) -> list[Span]:
+        """Direct children of ``span``, in creation order."""
+        return [s for s in self.spans if s.parent_id == span.span_id]
+
+    def roots(self) -> list[Span]:
+        """Spans with no parent (circuit spans, orphan events)."""
+        return [s for s in self.spans if s.parent_id is None]
+
+    def walk(self, span: Span):
+        """Yield ``(depth, span)`` over the subtree rooted at ``span``."""
+        stack = [(0, span)]
+        by_parent: dict[int, list[Span]] = {}
+        for s in self.spans:
+            if s.parent_id is not None:
+                by_parent.setdefault(s.parent_id, []).append(s)
+        while stack:
+            depth, current = stack.pop()
+            yield depth, current
+            for child in reversed(by_parent.get(current.span_id, [])):
+                stack.append((depth + 1, child))
+
+    def render_tree(self, span: Span) -> str:
+        """Indented text rendering of the subtree rooted at ``span``."""
+        lines = []
+        for depth, current in self.walk(span):
+            stamp = f"{current.t_start / 1e6:10.3f} ms"
+            tail = "" if current.t_end is None else (
+                "" if current.t_end == current.t_start
+                else f" (+{(current.t_end - current.t_start) / 1e6:.3f} ms)")
+            attrs = " ".join(f"{k}={v}" for k, v in current.attrs.items())
+            lines.append(f"[{stamp}] {'  ' * depth}{current.name}"
+                         f"{tail}{' ' + attrs if attrs else ''}")
+        return "\n".join(lines)
+
+    def write_jsonl(self, path) -> int:
+        """Write every span as one JSON line; returns the span count."""
+        with open(path, "w", encoding="utf-8") as handle:
+            for span in self.spans:
+                handle.write(json.dumps(span.to_dict()) + "\n")
+        return len(self.spans)
+
+
+def attach_trace(net, log: Optional[EventLog] = None) -> EventLog:
+    """Attach a shared event log to every QNP engine and link-layer EGP.
+
+    Pass an existing log (e.g. a :class:`SpanTracer`) to share it;
+    span tracers are additionally registered on the network so it can
+    open circuit/session interval spans (see :func:`attach_tracer`).
+    """
+    log = EventLog() if log is None else log
     for qnp in net.qnps.values():
         qnp.trace = log
+    for link in net.links.values():
+        link.trace = log
+    if isinstance(log, SpanTracer):
+        net.tracer = log
     return log
+
+
+def attach_tracer(net) -> SpanTracer:
+    """Attach a causal :class:`SpanTracer` to a network.
+
+    Equivalent to ``attach_trace(net, SpanTracer())``: the tracer
+    receives every QNP and EGP event as a point span and the network
+    opens circuit/session interval spans around them.
+    """
+    tracer = SpanTracer()
+    attach_trace(net, tracer)
+    return tracer

@@ -21,7 +21,7 @@ see :func:`~repro.campaign.runner.run_campaign`.
 """
 
 from .report import CampaignResult, git_revision
-from .runner import CellResult, run_campaign, run_cell
+from .runner import CellResult, ObsConfig, run_campaign, run_cell
 from .spec import (
     AXIS_DEFAULTS,
     AXIS_ORDER,
@@ -39,6 +39,7 @@ __all__ = [
     "CampaignSpec",
     "CellResult",
     "FaultSpec",
+    "ObsConfig",
     "git_revision",
     "load_spec",
     "run_campaign",

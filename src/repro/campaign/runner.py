@@ -25,6 +25,8 @@ errors are deterministic too, so they shard identically.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
+from pathlib import Path
 from typing import Optional
 
 from ..analysis.experiments import map_parallel
@@ -32,6 +34,37 @@ from ..traffic.topologies import build_topology
 from ..traffic.workload import TrafficEngine
 from .report import CampaignResult
 from .spec import CampaignCell, CampaignSpec
+
+
+@dataclass(frozen=True)
+class ObsConfig:
+    """Where a campaign's per-cell observability artifacts go.
+
+    Frozen and field-picklable on purpose: the config rides into the
+    pool workers via :func:`functools.partial`, so sharded campaigns
+    stream the same per-cell files as serial ones.  Each cell writes
+    ``cell<index>.jsonl`` under the configured directories (kept apart
+    by index, which is shard-order independent).
+    """
+
+    #: Directory for per-cell metrics snapshots (None = no snapshots).
+    metrics_dir: Optional[str] = None
+    #: Directory for per-cell span traces (None = no tracing).
+    trace_dir: Optional[str] = None
+    #: Simulated seconds between snapshot frames.
+    snapshot_interval_s: float = 0.5
+
+    def metrics_path(self, cell: "CampaignCell") -> Optional[str]:
+        """This cell's snapshot file (None when snapshots are off)."""
+        if self.metrics_dir is None:
+            return None
+        return str(Path(self.metrics_dir) / f"cell{cell.index}.jsonl")
+
+    def trace_path(self, cell: "CampaignCell") -> Optional[str]:
+        """This cell's span-trace file (None when tracing is off)."""
+        if self.trace_dir is None:
+            return None
+        return str(Path(self.trace_dir) / f"cell{cell.index}.jsonl")
 
 
 @dataclass(frozen=True)
@@ -105,12 +138,15 @@ class CellResult:
         }
 
 
-def run_cell(cell: CampaignCell) -> CellResult:
+def run_cell(cell: CampaignCell,
+             obs: Optional[ObsConfig] = None) -> CellResult:
     """Execute one campaign cell end to end and reduce its telemetry.
 
     Module-level (picklable) on purpose: this is the function the pool
-    workers receive.  Deterministic in the cell alone.
+    workers receive.  Deterministic in the cell alone; ``obs`` adds
+    per-cell metrics/trace files without touching the telemetry scalars.
     """
+    obs = obs or ObsConfig()
     try:
         net = build_topology(cell.topology, cell.size, seed=cell.seed,
                              formalism=cell.formalism)
@@ -119,7 +155,10 @@ def run_cell(cell: CampaignCell) -> CellResult:
             target_fidelity=cell.target_fidelity, seed=cell.seed,
             metric=cell.metric, fail_links=cell.faults.fail_links,
             mtbf_s=cell.faults.mtbf_s, mttr_s=cell.faults.mttr_s,
-            apps=None if cell.app is None else [cell.app])
+            apps=None if cell.app is None else [cell.app],
+            metrics_out=obs.metrics_path(cell),
+            snapshot_interval_s=obs.snapshot_interval_s,
+            trace_out=obs.trace_path(cell))
         report = engine.run(horizon_s=cell.horizon_s, drain_s=cell.drain_s)
     except (ValueError, RuntimeError) as exc:
         return _error_result(cell, f"{type(exc).__name__}: {exc}")
@@ -166,7 +205,8 @@ def _error_result(cell: CampaignCell, message: str) -> CellResult:
 
 
 def run_campaign(spec: CampaignSpec, workers: int = 1,
-                 cells: Optional[list[CampaignCell]] = None) -> CampaignResult:
+                 cells: Optional[list[CampaignCell]] = None,
+                 obs: Optional[ObsConfig] = None) -> CampaignResult:
     """Expand a spec and execute every cell, sharded over ``workers``.
 
     ``workers=1`` runs serially in-process; ``workers>1`` shards the cell
@@ -179,6 +219,10 @@ def run_campaign(spec: CampaignSpec, workers: int = 1,
     to print the grid size up front) reuse the expansion; it must be
     exactly that — expansion is deterministic, so any other list would
     desynchronise results from the spec.
+
+    ``obs`` turns on per-cell observability artifacts (metrics snapshot
+    and span-trace JSONL files named by cell index) — the directories
+    are created up front so pool workers never race on mkdir.
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
@@ -186,5 +230,10 @@ def run_campaign(spec: CampaignSpec, workers: int = 1,
         cells = spec.expand()
     if not cells:  # pragma: no cover - load_spec forbids empty axes
         raise ValueError("campaign expands to zero cells")
-    results = map_parallel(run_cell, cells, workers=workers)
+    if obs is not None:
+        for directory in (obs.metrics_dir, obs.trace_dir):
+            if directory is not None:
+                Path(directory).mkdir(parents=True, exist_ok=True)
+    runner = run_cell if obs is None else partial(run_cell, obs=obs)
+    results = map_parallel(runner, cells, workers=workers)
     return CampaignResult(spec=spec, cells=cells, results=list(results))

@@ -10,9 +10,11 @@ Usage::
     python -m repro traffic --topology grid --size 4 --circuits 8 --load 0.7
     python -m repro traffic --metric utilisation --fail-links 2 --seed 7
     python -m repro traffic --apps qkd,distil,teleport,certify
+    python -m repro traffic --metrics-out run.jsonl --trace-out spans.jsonl
     python -m repro campaign --spec examples/campaign_grid.json --workers 4
     python -m repro campaign --spec spec.json --apps qkd,teleport
     python -m repro apps --demo
+    python -m repro obs --summarise run.jsonl
 
 ``--formalism bell`` runs any scenario on the fast Bell-diagonal state
 backend instead of the exact density-matrix engine — see DESIGN.md for when
@@ -137,10 +139,18 @@ def _cmd_traffic(args: argparse.Namespace) -> int:
     print(f"topology {args.topology} size {args.size}: "
           f"{len(net.nodes)} nodes, {len(net.links)} links "
           f"({net.formalism} formalism)")
+    # The apps --demo path re-enters here with a namespace that predates
+    # the observability flags; default them off.
+    metrics_out = getattr(args, "metrics_out", None)
+    trace_out = getattr(args, "trace_out", None)
     engine = TrafficEngine(net, circuits=args.circuits, load=args.load,
                            target_fidelity=args.fidelity, seed=args.seed,
                            metric=args.metric, fail_links=args.fail_links,
-                           mtbf_s=args.mtbf, mttr_s=args.mttr, apps=apps)
+                           mtbf_s=args.mtbf, mttr_s=args.mttr, apps=apps,
+                           metrics_out=metrics_out,
+                           snapshot_interval_s=getattr(
+                               args, "snapshot_interval", 0.5),
+                           trace_out=trace_out)
     engine.install()
     print(f"installed {len(engine.circuits)} circuits "
           f"(metric {args.metric}, max link share "
@@ -174,16 +184,26 @@ def _cmd_traffic(args: argparse.Namespace) -> int:
     if getattr(args, "app_details", False) and report.apps:
         print()
         print(report.render_app_details())
+    if metrics_out:
+        print(f"\nmetrics snapshots written to {metrics_out} "
+              f"(summarise: python -m repro obs --summarise {metrics_out})")
+    if trace_out:
+        print(f"span trace written to {trace_out}")
     return 0 if report.total_confirmed_pairs > 0 else 1
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
     from pathlib import Path
 
-    from .campaign import git_revision, load_spec, run_campaign
+    from .campaign import ObsConfig, git_revision, load_spec, run_campaign
 
     if args.workers < 1:
         raise SystemExit("--workers must be >= 1")
+    obs = None
+    if args.metrics_out or args.trace_out:
+        obs = ObsConfig(metrics_dir=args.metrics_out,
+                        trace_dir=args.trace_out,
+                        snapshot_interval_s=args.snapshot_interval)
     try:
         spec = load_spec(args.spec)
     except ValueError as exc:
@@ -199,9 +219,14 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     cells = spec.expand()
     print(f"campaign {spec.name}: {len(cells)} cells, "
           f"{args.workers} worker(s)")
-    result = run_campaign(spec, workers=args.workers, cells=cells)
+    result = run_campaign(spec, workers=args.workers, cells=cells, obs=obs)
     print()
     print(result.render())
+    if obs is not None:
+        for label, directory in (("metrics", obs.metrics_dir),
+                                 ("traces", obs.trace_dir)):
+            if directory:
+                print(f"per-cell {label} written under {directory}/")
     revision = git_revision(Path.cwd())
     out = Path(args.out) if args.out else Path(f"CAMPAIGN_{revision}.json")
     result.write_json(out, revision=revision)
@@ -235,6 +260,20 @@ def _cmd_apps(args: argparse.Namespace) -> int:
               f"{demand}; SLO: {targets}")
     print("\nrun one with: python -m repro traffic --apps "
           + ",".join(app_names()) + "  (or: python -m repro apps --demo)")
+    return 0
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from .obs import summarise
+
+    required = ()
+    if args.require:
+        required = tuple(name.strip() for name in args.require.split(",")
+                         if name.strip())
+    try:
+        print(summarise(args.summarise, required=required))
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"bad snapshot file: {exc}")
     return 0
 
 
@@ -357,6 +396,17 @@ def build_parser() -> argparse.ArgumentParser:
     traffic.add_argument("--profile", action="store_true",
                          help="run the traffic loop under cProfile and "
                               "dump stats to traffic.prof")
+    traffic.add_argument("--metrics-out", default=None, dest="metrics_out",
+                         help="stream metrics-registry snapshots to this"
+                              " JSONL file during the run")
+    traffic.add_argument("--snapshot-interval", type=float, default=0.5,
+                         dest="snapshot_interval",
+                         help="simulated seconds between metrics snapshots"
+                              " (with --metrics-out)")
+    traffic.add_argument("--trace-out", default=None, dest="trace_out",
+                         help="write the causal span trace (circuit ->"
+                              " session -> pair lifecycle) to this JSONL"
+                              " file after the run")
     traffic.set_defaults(fn=_cmd_traffic)
 
     apps = sub.add_parser(
@@ -385,7 +435,26 @@ def build_parser() -> argparse.ArgumentParser:
                           help="comma-separated app names injected as the"
                                " spec's 'app' axis (overrides any app axis"
                                " the spec declares)")
+    campaign.add_argument("--metrics-out", default=None, dest="metrics_out",
+                          help="directory for per-cell metrics snapshot"
+                               " files (cell<index>.jsonl)")
+    campaign.add_argument("--snapshot-interval", type=float, default=0.5,
+                          dest="snapshot_interval",
+                          help="simulated seconds between metrics snapshots"
+                               " (with --metrics-out)")
+    campaign.add_argument("--trace-out", default=None, dest="trace_out",
+                          help="directory for per-cell span-trace files"
+                               " (cell<index>.jsonl)")
     campaign.set_defaults(fn=_cmd_campaign)
+
+    obs = sub.add_parser(
+        "obs", help="summarise a metrics snapshot stream")
+    obs.add_argument("--summarise", required=True, metavar="JSONL",
+                     help="snapshot file written by --metrics-out")
+    obs.add_argument("--require", default=None,
+                     help="comma-separated series that must be present"
+                          " (exit non-zero otherwise)")
+    obs.set_defaults(fn=_cmd_obs)
     return parser
 
 

@@ -214,6 +214,8 @@ class QNPNode(Entity, EndNodeRules, IntermediateRules):
         )
         self._emit("REQUEST", request=request.request_id)
         decision = runtime.policer.admit(request)
+        self._emit("ADMIT", request=request.request_id,
+                   decision=str(decision))
         if decision == PolicerDecision.REJECT:
             handle.status = RequestStatus.REJECTED
             return handle
@@ -280,6 +282,7 @@ class QNPNode(Entity, EndNodeRules, IntermediateRules):
                 return  # already completed (late in-flight confirmation)
             handle.status = RequestStatus.COMPLETED
             handle.t_completed = self.now
+            self._emit("REQUEST_DONE", request=record.request_id)
         runtime.demux.mark_finished(record.request_id)
         runtime.policer.release(record.request_id)
         active_ids = self._active_request_ids(runtime)
@@ -395,7 +398,8 @@ class QNPNode(Entity, EndNodeRules, IntermediateRules):
             raise RuntimeError(
                 f"{self.name}: cannot send {type(message).__name__} "
                 f"{direction.value} from a circuit {entry.role.value} node")
-        self._emit(type(message).__name__.upper(), to=neighbour)
+        self._emit(type(message).__name__.upper(), to=neighbour,
+                   circuit=entry.circuit_id)
         self.node.send(neighbour, "qnp", message)
 
     def _on_message(self, sender: str, message) -> None:

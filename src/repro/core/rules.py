@@ -236,7 +236,8 @@ class IntermediateRules:
                                 from_upstream: bool) -> None:
         direction_state = runtime.upstream if from_upstream else runtime.downstream
         self._emit("LINK_PAIR", correlator=delivery.entanglement_id,
-                   side="up" if from_upstream else "down")
+                   side="up" if from_upstream else "down",
+                   circuit=runtime.entry.circuit_id)
         pair = PairInfo(
             correlator=delivery.entanglement_id,
             qubit=delivery.qubit,
@@ -280,7 +281,7 @@ class IntermediateRules:
             up.qubit, down.qubit)
         self.swaps_performed += 1
         self._emit("SWAP", up=up.correlator, down=down.correlator,
-                   outcome=outcome)
+                   outcome=outcome, circuit=runtime.entry.circuit_id)
         self.call_in(duration, self._complete_swap, runtime, up, down, outcome)
 
     def _complete_swap(self, runtime, up: PairInfo, down: PairInfo,
@@ -360,7 +361,8 @@ class IntermediateRules:
         self.node.device.discard(pair.qubit)
         self.node.qmm.free(pair.correlator)
         self.pairs_discarded += 1
-        self._emit("CUTOFF_DISCARD", correlator=pair.correlator)
+        self._emit("CUTOFF_DISCARD", correlator=pair.correlator,
+                   circuit=runtime.entry.circuit_id)
         pending = direction_state.take_pending_track(pair.correlator)
         if pending is not None:
             self._send_expire(runtime, pending)

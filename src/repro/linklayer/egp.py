@@ -171,6 +171,12 @@ class Link(Entity):
         self.pairs_generated = 0
         self._attempts_made = 0
         self._busy_time = 0.0
+        #: Optional shared event log (see :mod:`repro.analysis.tracing`);
+        #: attached by ``attach_trace`` alongside the QNP engines.
+        self.trace = None
+        #: Optional chain-length histogram (``repro.obs``): the topology
+        #: builder points every link at one shared registry instrument.
+        self.chain_hist = None
         for node in (node_a, node_b):
             node.qmm.on_slot_freed(self._on_slot_freed)
 
@@ -196,6 +202,9 @@ class Link(Entity):
         immediately live (single-caller use).
         """
         self._settle_chain()
+        if self.trace is not None:
+            self.trace.record(self.sim._now, self.name, "EGP_REQUEST",
+                              purpose=purpose_id, lpr=lpr)
         alpha = self.model.alpha_for_fidelity(min_fidelity)
         log_miss = self.model.log_miss_probability(alpha)
         goodness = self.model.fidelity(alpha)
@@ -241,6 +250,9 @@ class Link(Entity):
     def end_request(self, purpose_id: str) -> None:
         """Terminate a continuous generation request (COMPLETE handling)."""
         self._settle_chain()
+        if self.trace is not None:
+            self.trace.record(self.sim._now, self.name, "EGP_END",
+                              purpose=purpose_id)
         self._pending_endorsements.pop(purpose_id, None)
         request = self._requests.pop(purpose_id, None)
         self._eligible_dirty = True
@@ -476,6 +488,8 @@ class Link(Entity):
                 request = requests[purpose_id]
         event = sim.schedule_at(t, self._finish_chain)
         self._chain = _Chain(slices, sim._now, success, slot_a, slot_b, event)
+        if self.chain_hist is not None:
+            self.chain_hist.observe(len(slices))
 
     def _charge_slices(self, slices) -> int:
         """Apply a batch of slices' bookkeeping; returns total attempts."""
@@ -675,6 +689,10 @@ class Link(Entity):
         request.pairs_delivered += 1
         self.pairs_generated += 1
         t_create = self.sim._now
+        if self.trace is not None:
+            self.trace.record(t_create, self.name, "EGP_PAIR",
+                              purpose=request.purpose_id,
+                              correlator=correlator)
         handlers = self._handlers
         for node, qubit in ((self.node_a, qubit_a), (self.node_b, qubit_b)):
             handler = handlers.get(node.name)

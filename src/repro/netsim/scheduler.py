@@ -117,6 +117,9 @@ class Simulator:
         self._cancelled = 0
         #: Recycled handles for the no-cancel fast path (:meth:`post_at`).
         self._pool: list[EventHandle] = []
+        #: Number of :meth:`post_at` calls served from the free list
+        #: (observability: pool effectiveness, sampled by ``repro.obs``).
+        self.pool_hits = 0
         self.rng = random.Random(seed)
         self.seed = seed
 
@@ -129,6 +132,11 @@ class Simulator:
     def events_processed(self) -> int:
         """Number of events fired since construction (for diagnostics)."""
         return self._event_count
+
+    @property
+    def heap_size(self) -> int:
+        """Raw heap length, cancelled entries included (for diagnostics)."""
+        return len(self._queue)
 
     def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> EventHandle:
         """Schedule ``callback(*args)`` to run ``delay`` ns from now."""
@@ -159,6 +167,7 @@ class Simulator:
         pool = self._pool
         if pool:
             handle = pool.pop()
+            self.pool_hits += 1
             handle.time = time
             handle.seq = next(self._seq)
             handle.callback = callback

@@ -38,6 +38,7 @@ from ..hardware.parameters import HardwareParams, NEAR_TERM, SIMULATION
 from ..linklayer.egp import Link
 from ..netsim.channels import ClassicalChannel
 from ..netsim.scheduler import Simulator
+from ..obs.registry import MetricsRegistry
 from ..netsim.units import (
     LAB_WAVELENGTH_ATTENUATION_DB_PER_KM,
     S,
@@ -99,6 +100,63 @@ class Network:
         self._circuit_meta: dict[str, dict] = {}
         self._submissions: list[_Submission] = []
         self._identifier_counter = 0
+        #: Optional causal span tracer (set by ``attach_trace``/
+        #: ``attach_tracer`` — see :mod:`repro.analysis.tracing`).  When
+        #: present the façade opens circuit/session interval spans around
+        #: the flat protocol events.
+        self.tracer = None
+        #: The network's metrics registry (:mod:`repro.obs`).  Scheduler,
+        #: link-layer, QNP and arbiter instruments are pull-based — they
+        #: poll the stats the components already keep, so registration
+        #: here costs nothing on the hot path.
+        self.obs = MetricsRegistry()
+        self._register_instruments()
+
+    def _register_instruments(self) -> None:
+        """Register the pull-based core instruments on ``self.obs``."""
+        obs, sim = self.obs, self.sim
+        obs.counter("sim.events_processed",
+                    source=lambda: sim.events_processed)
+        obs.counter("sim.pool_hits", source=lambda: sim.pool_hits)
+        obs.gauge("sim.heap_size", source=lambda: sim.heap_size)
+        obs.gauge("sim.pending_events", source=sim.pending_events)
+        links, qnps, nodes = self.links, self.qnps, self.nodes
+        obs.counter("egp.attempts", source=lambda: sum(
+            link.attempts_made for link in links.values()))
+        obs.counter("egp.pairs_generated", source=lambda: sum(
+            link.pairs_generated for link in links.values()))
+        obs.gauge("egp.busy_time_s", source=lambda: sum(
+            link.busy_time for link in links.values()) / S)
+        obs.histogram("egp.chain_slices")
+        obs.counter("qnp.swaps", source=lambda: sum(
+            qnp.swaps_performed for qnp in qnps.values()))
+        obs.counter("qnp.pairs_delivered", source=lambda: sum(
+            qnp.pairs_delivered for qnp in qnps.values()))
+        obs.counter("qnp.pairs_discarded", source=lambda: sum(
+            qnp.pairs_discarded for qnp in qnps.values()))
+        obs.counter("qnp.pairs_expired", source=lambda: sum(
+            qnp.pairs_expired for qnp in qnps.values()))
+        obs.counter("qnp.expires_sent", source=lambda: sum(
+            qnp.expires_sent for qnp in qnps.values()))
+        obs.counter("qnp.tracks_relayed", source=lambda: sum(
+            qnp.tracks_relayed for qnp in qnps.values()))
+        obs.gauge("policer.queue_depth", source=lambda: sum(
+            runtime.policer.queued
+            for qnp in qnps.values()
+            for runtime in qnp._circuits.values()
+            if runtime.policer is not None))
+        obs.counter("arbiter.grants", source=lambda: sum(
+            node.arbiter.grants for node in nodes.values()))
+        obs.counter("arbiter.wait_ns", source=lambda: sum(
+            node.arbiter.total_wait for node in nodes.values()))
+        obs.gauge("arbiter.max_queue", source=lambda: max(
+            (node.arbiter.max_queue_length for node in nodes.values()),
+            default=0))
+        # Push-style admission counters (incremented by :meth:`submit`).
+        for name in ("policer.accepted", "policer.queued",
+                     "policer.rejected"):
+            obs.counter(name)
+        obs.histogram("traffic.fidelity")
 
     # ------------------------------------------------------------------
     # Construction
@@ -131,6 +189,7 @@ class Network:
         model = SingleClickModel(self.params, connection)
         link = Link(self.sim, f"{name_a}~{name_b}", node_a, node_b, model,
                     slice_attempts, backend=self.backend)
+        link.chain_hist = self.obs.histogram("egp.chain_slices")
         node_a.attach_link(link, name_b)
         node_b.attach_link(link, name_a)
         channel = ClassicalChannel(self.sim, length_km,
@@ -207,6 +266,9 @@ class Network:
         simulation; ``on_ready`` fires when the RESV reaches the head."""
         circuit_id = allocate_circuit_id(route.path[0], route.path[-1])
         entries = self.controller.build_entries(circuit_id, route, max_eer)
+        if self.tracer is not None:
+            on_ready = self._trace_install(circuit_id, route, entries,
+                                           on_ready)
         self.signalling[route.path[0]].establish(entries, on_ready=on_ready)
         self._circuit_meta[circuit_id] = {
             "route": route, "max_eer": max_eer,
@@ -214,6 +276,37 @@ class Network:
         }
         self.controller.register_install(circuit_id, route)
         return circuit_id
+
+    def _trace_install(self, circuit_id: str, route: RouteComputation,
+                       entries, on_ready):
+        """Open a circuit span and wrap ``on_ready`` with an INSTALL mark.
+
+        The circuit span is the root of the causal tree: the route
+        computation is its first point child, the link labels of every
+        hop are aliased to it (so link-layer ``EGP_*`` events file under
+        it), and sessions submitted on the circuit parent under it.
+        """
+        tracer = self.tracer
+        head = route.path[0]
+        span = tracer.begin("circuit", head, self.sim.now,
+                            key=("circuit", circuit_id),
+                            circuit=circuit_id, path="-".join(route.path))
+        tracer.point("ROUTE", head, self.sim.now, parent=span,
+                     circuit=circuit_id, path="-".join(route.path),
+                     estimated_fidelity=round(route.estimated_fidelity, 4))
+        for entry in entries:
+            for label in (entry.upstream_link_label,
+                          entry.downstream_link_label):
+                if label is not None:
+                    tracer.alias(("purpose", label), span)
+
+        def _traced_ready(ready_circuit_id: str) -> None:
+            tracer.point("INSTALL", head, self.sim.now, parent=span,
+                         circuit=circuit_id)
+            if on_ready is not None:
+                on_ready(ready_circuit_id)
+
+        return _traced_ready
 
     def _install(self, route: RouteComputation, max_eer: Optional[float],
                  cutoff_policy=None) -> str:
@@ -243,6 +336,8 @@ class Network:
         if meta is None:
             return
         path = meta["route"].path
+        if self.tracer is not None:
+            self.tracer.end(("circuit", circuit_id), self.sim.now)
         self.liveness[path[0]].unwatch(circuit_id)
         if self.controller is not None:
             self.controller.register_teardown(circuit_id)
@@ -364,6 +459,13 @@ class Network:
         """
         route = self.route_of(circuit_id)
         head, tail = route.path[0], route.path[-1]
+        if self.tracer is not None:
+            self.tracer.begin("session", head, self.sim.now,
+                              key=("session", request.request_id),
+                              parent=self.tracer.lookup(
+                                  ("circuit", circuit_id)),
+                              request=request.request_id,
+                              circuit=circuit_id)
         head_id = self._next_identifier()
         tail_id = self._next_identifier()
         submission = _Submission(
@@ -380,6 +482,12 @@ class Network:
                                         head_end_identifier=head_id,
                                         tail_end_identifier=tail_id)
         submission.handle = handle
+        decision = {RequestStatus.ACTIVE: "policer.accepted",
+                    RequestStatus.QUEUED: "policer.queued",
+                    RequestStatus.REJECTED: "policer.rejected"}.get(
+                        handle.status)
+        if decision is not None:
+            self.obs.counter(decision).inc()
         handle.tail_deliveries = submission.tail_deliveries  # type: ignore[attr-defined]
         handle.matched_pairs = submission.matched  # type: ignore[attr-defined]
         handle.on_delivery(lambda delivery: self._on_head_delivery(submission,
@@ -425,10 +533,15 @@ class Network:
                 int(head_delivery.bell_state))
             if submission.oracle_min_fidelity is not None:
                 matched.accepted = matched.fidelity >= submission.oracle_min_fidelity
+            self.obs.histogram("traffic.fidelity").observe(matched.fidelity)
         # Hand the pair to the application service first: it may measure
         # or buffer the qubits (truthy return = it owns them now).
         owned = (submission.on_matched is not None
                  and bool(submission.on_matched(matched)))
+        if owned and self.tracer is not None:
+            self.tracer.record(self.sim.now, "app", "APP_CONSUME",
+                               request=delivery.request_id,
+                               pair=delivery.pair_id)
         if has_qubits and not owned:
             # Consume the pair so long runs do not accumulate state.
             # Either side's state may already be gone: removing one half can

@@ -1,0 +1,204 @@
+"""Unified metrics registry: counters, gauges, bounded-memory histograms.
+
+One :class:`MetricsRegistry` lives on every :class:`~repro.network.Network`
+(``net.obs``) and is the single place the scheduler, link layer, QNP,
+policer/arbiter, traffic engine and applications publish their numbers.
+Two publication styles coexist:
+
+* **pull** — an instrument constructed with a ``source`` callable holds no
+  state of its own; reading it polls the producer's existing stat field
+  (``link.attempts_made``, ``sim.events_processed``, …).  This is the
+  default for everything the simulator already counts: zero hot-path
+  cost, the registry only pays at snapshot time.
+* **push** — counters without a source are incremented explicitly
+  (``counter.inc()``), and histograms fold samples into
+  :class:`~repro.analysis.stats.P2Quantile` estimators as they arrive, so
+  quantiles stay available without keeping the samples (bounded memory —
+  five markers per tracked quantile, independent of sample count).
+
+``snapshot()`` flattens everything into one ``{name: value}`` dict: plain
+numbers for counters and gauges, a ``{count, mean, min, max, p5, …}``
+sub-dict per histogram.  That dict is what the snapshot emitter streams
+to JSONL and what the end-of-run reports read their headline numbers
+from.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from ..analysis.stats import P2Quantile
+
+#: Quantiles a histogram tracks by default (reported as p5/p50/p95/p99).
+DEFAULT_QUANTILES = (0.05, 0.50, 0.95, 0.99)
+
+
+class Counter:
+    """A monotonically increasing count (pushed or pulled).
+
+    With a ``source`` callable the counter is read-only and polls the
+    producer; without one it accumulates :meth:`inc` calls.
+    """
+
+    __slots__ = ("name", "_value", "_source")
+
+    def __init__(self, name: str, source: Optional[Callable[[], float]] = None):
+        self.name = name
+        self._value = 0
+        self._source = source
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (push-style counters only)."""
+        if self._source is not None:
+            raise TypeError(f"counter {self.name!r} is source-backed")
+        self._value += amount
+
+    @property
+    def value(self):
+        """Current count (polls the source when pull-based)."""
+        if self._source is not None:
+            return self._source()
+        return self._value
+
+
+class Gauge:
+    """A point-in-time level (heap size, queue depth, busy time)."""
+
+    __slots__ = ("name", "_value", "_source")
+
+    def __init__(self, name: str, source: Optional[Callable[[], float]] = None):
+        self.name = name
+        self._value = 0.0
+        self._source = source
+
+    def set(self, value: float) -> None:
+        """Record the current level (push-style gauges only)."""
+        if self._source is not None:
+            raise TypeError(f"gauge {self.name!r} is source-backed")
+        self._value = value
+
+    @property
+    def value(self):
+        """Current level (polls the source when pull-based)."""
+        if self._source is not None:
+            return self._source()
+        return self._value
+
+
+class Histogram:
+    """Streaming distribution summary with P² quantile estimators.
+
+    Tracks count/sum/min/max exactly and each configured quantile with a
+    five-marker :class:`~repro.analysis.stats.P2Quantile` — memory is
+    fixed no matter how many samples are observed.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "_quantiles")
+
+    def __init__(self, name: str,
+                 quantiles: Sequence[float] = DEFAULT_QUANTILES):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self._quantiles = {q: P2Quantile(q) for q in quantiles}
+
+    def observe(self, x: float) -> None:
+        """Fold one sample into the summary (O(1) time and memory)."""
+        x = float(x)
+        self.count += 1
+        self.total += x
+        if x < self.min:
+            self.min = x
+        if x > self.max:
+            self.max = x
+        for estimator in self._quantiles.values():
+            estimator.observe(x)
+
+    @property
+    def mean(self) -> float:
+        """Mean of all observed samples (0.0 before any sample)."""
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Current estimate for tracked quantile ``q``."""
+        return self._quantiles[q].value()
+
+    def to_dict(self) -> dict:
+        """Snapshot representation: count/mean/min/max plus quantiles."""
+        if not self.count:
+            return {"count": 0}
+        summary = {"count": self.count, "mean": self.mean,
+                   "min": self.min, "max": self.max}
+        for q, estimator in sorted(self._quantiles.items()):
+            summary[f"p{q * 100:g}"] = estimator.value()
+        return summary
+
+
+class MetricsRegistry:
+    """Name-keyed collection of counters, gauges and histograms.
+
+    Instrument constructors are get-or-create: asking twice for the same
+    name returns the same instrument, so producers can register lazily
+    without coordinating.  Asking for an existing name as a different
+    instrument kind is an error — names are the public contract.
+    """
+
+    def __init__(self):
+        self._instruments: dict[str, object] = {}
+
+    def _get_or_create(self, name: str, cls, factory):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = factory()
+            self._instruments[name] = instrument
+        elif not isinstance(instrument, cls):
+            raise TypeError(f"{name!r} already registered as "
+                            f"{type(instrument).__name__}")
+        return instrument
+
+    def counter(self, name: str,
+                source: Optional[Callable[[], float]] = None) -> Counter:
+        """Get or create the counter ``name``."""
+        return self._get_or_create(name, Counter,
+                                   lambda: Counter(name, source))
+
+    def gauge(self, name: str,
+              source: Optional[Callable[[], float]] = None) -> Gauge:
+        """Get or create the gauge ``name``."""
+        return self._get_or_create(name, Gauge, lambda: Gauge(name, source))
+
+    def histogram(self, name: str,
+                  quantiles: Sequence[float] = DEFAULT_QUANTILES) -> Histogram:
+        """Get or create the histogram ``name``."""
+        return self._get_or_create(name, Histogram,
+                                   lambda: Histogram(name, quantiles))
+
+    def names(self) -> list[str]:
+        """All registered instrument names, sorted."""
+        return sorted(self._instruments)
+
+    def get(self, name: str):
+        """The instrument registered under ``name``, or None."""
+        return self._instruments.get(name)
+
+    def value(self, name: str):
+        """Shorthand: current value of counter/gauge ``name``."""
+        instrument = self._instruments[name]
+        if isinstance(instrument, Histogram):
+            return instrument.to_dict()
+        return instrument.value
+
+    def snapshot(self) -> dict:
+        """Freeze every instrument into plain values, grouped by kind."""
+        counters, gauges, hists = {}, {}, {}
+        for name in sorted(self._instruments):
+            instrument = self._instruments[name]
+            if isinstance(instrument, Counter):
+                counters[name] = instrument.value
+            elif isinstance(instrument, Gauge):
+                gauges[name] = instrument.value
+            else:
+                hists[name] = instrument.to_dict()
+        return {"counters": counters, "gauges": gauges, "hists": hists}

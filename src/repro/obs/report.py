@@ -1,0 +1,87 @@
+"""Snapshot post-processing: the ``python -m repro obs`` summarise view.
+
+Reads a snapshot JSONL stream produced by
+:class:`~repro.obs.snapshots.SnapshotEmitter` and renders the dashboard
+the run would have shown live: final cumulative counters with their
+average rate per simulated second, last gauge levels, and histogram
+summaries.  Also hosts the required-series check the CI ``obs-smoke``
+job uses to assert a run actually published its core telemetry.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..analysis.experiments import render_table
+from .snapshots import read_snapshots
+
+#: Series every instrumented traffic run must publish — the CI smoke job
+#: fails when a snapshot stream is missing any of them.
+REQUIRED_SERIES = (
+    "sim.events_processed",
+    "egp.attempts",
+    "egp.pairs_generated",
+    "qnp.swaps",
+    "traffic.sessions_submitted",
+    "traffic.pairs_confirmed",
+)
+
+
+def missing_series(snapshots: Sequence[dict],
+                   required: Iterable[str] = REQUIRED_SERIES) -> list[str]:
+    """Required counter names absent from the final snapshot."""
+    if not snapshots:
+        return sorted(required)
+    counters = snapshots[-1].get("counters", {})
+    return sorted(name for name in required if name not in counters)
+
+
+def summarise(path, required: Iterable[str] = ()) -> str:
+    """Render a text summary of a snapshot JSONL file.
+
+    ``required`` adds a presence check: missing counter series raise
+    ``ValueError`` (the CI smoke job maps that to a failing exit code).
+    """
+    snapshots = read_snapshots(path)
+    if not snapshots:
+        raise ValueError(f"{path}: no snapshots found")
+    absent = missing_series(snapshots, required) if required else []
+    if absent:
+        raise ValueError(f"{path}: missing required series: "
+                         + ", ".join(absent))
+    first, last = snapshots[0], snapshots[-1]
+    sim_span = last["t_sim_s"] - first["t_sim_s"]
+    periodic = sum(1 for line in snapshots if line["kind"] == "periodic")
+    lines = [f"obs summary: {path}",
+             f"  snapshots: {len(snapshots)} "
+             f"({periodic} periodic, final kind={last['kind']!r})",
+             f"  simulated: {last['t_sim_s']:.3f} s   "
+             f"wall: {last['t_wall_s']:.3f} s   "
+             f"max RSS: {last['max_rss_kb']} kB",
+             ""]
+    counter_rows = []
+    for name, value in sorted(last.get("counters", {}).items()):
+        rate = value / sim_span if sim_span > 0 else float("nan")
+        counter_rows.append([name, value, rate])
+    if counter_rows:
+        lines.append(render_table(["counter", "final", "per sim-s"],
+                                  counter_rows))
+        lines.append("")
+    gauge_rows = [[name, value]
+                  for name, value in sorted(last.get("gauges", {}).items())]
+    if gauge_rows:
+        lines.append(render_table(["gauge", "last"], gauge_rows))
+        lines.append("")
+    hist_rows = []
+    for name, summary in sorted(last.get("hists", {}).items()):
+        if not summary.get("count"):
+            continue
+        hist_rows.append([name, summary["count"], summary["mean"],
+                          summary.get("p50", float("nan")),
+                          summary.get("p95", float("nan")),
+                          summary["min"], summary["max"]])
+    if hist_rows:
+        lines.append(render_table(
+            ["histogram", "count", "mean", "p50", "p95", "min", "max"],
+            hist_rows))
+    return "\n".join(lines).rstrip()

@@ -35,6 +35,7 @@ from ..netsim.units import S
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..network.builder import Network
+    from ..obs.registry import MetricsRegistry
     from .workload import SessionRecord, TrafficCircuit
 
 
@@ -135,6 +136,12 @@ class TrafficReport:
     #: Per-circuit application outcomes (:class:`repro.apps.AppOutcome`;
     #: empty for app-less workloads).
     apps: list = field(default_factory=list)
+    #: Final metrics-registry frame (``MetricsRegistry.snapshot()``),
+    #: captured at build time.  The headline totals below read from it
+    #: when present instead of re-deriving from the session records —
+    #: the same numbers a streaming snapshot reports (see
+    #: :mod:`repro.obs`); ``None`` for reports built without a registry.
+    obs: Optional[dict] = None
 
     # -- scalar telemetry ------------------------------------------------
 
@@ -148,9 +155,23 @@ class TrafficReport:
         """All sessions submitted across priority classes."""
         return sum(tally.submitted for tally in self.classes.values())
 
+    def _obs_counter(self, name: str) -> Optional[int]:
+        """Registry counter from the attached frame (None when absent)."""
+        if self.obs is None:
+            return None
+        return self.obs.get("counters", {}).get(name)
+
     @property
     def total_confirmed_pairs(self) -> int:
-        """End-to-end pairs confirmed across all sessions."""
+        """End-to-end pairs confirmed across all sessions.
+
+        Read from the metrics registry when the run carried one (the
+        traffic engine streams the same counter to snapshots); derived
+        from the per-class tallies otherwise.
+        """
+        from_registry = self._obs_counter("traffic.pairs_confirmed")
+        if from_registry is not None:
+            return from_registry
         return sum(tally.pairs_confirmed for tally in self.classes.values())
 
     @property
@@ -369,14 +390,17 @@ def build_report(net: "Network", circuits: Sequence["TrafficCircuit"],
                  elapsed_ns: Optional[float] = None,
                  classes: Sequence = (),
                  recovery: Optional[RecoveryStats] = None,
-                 apps: Sequence = ()) -> TrafficReport:
+                 apps: Sequence = (),
+                 obs: Optional["MetricsRegistry"] = None) -> TrafficReport:
     """Aggregate a finished run into a :class:`TrafficReport`.
 
     ``elapsed_ns`` is the wall of simulated time the workload actually
     spanned (horizon + drain); defaults to the simulator clock.
     ``recovery`` attaches the routing/failure telemetry the traffic
     engine collected; ``apps`` the finalised per-circuit application
-    outcomes.
+    outcomes.  ``obs`` is the run's metrics registry; when given, its
+    final frame is attached so the report's headline totals come from
+    the same counters the streaming snapshots carry.
     """
     if elapsed_ns is None:
         elapsed_ns = net.sim.now
@@ -473,4 +497,5 @@ def build_report(net: "Network", circuits: Sequence["TrafficCircuit"],
         arbiters=arbiter_stats,
         recovery=recovery,
         apps=list(apps),
+        obs=obs.snapshot() if obs is not None else None,
     )

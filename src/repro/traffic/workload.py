@@ -40,6 +40,7 @@ from typing import Optional, Sequence
 import networkx as nx
 
 from ..analysis.stats import mean
+from ..analysis.tracing import attach_tracer
 from ..apps import AppContext, get_app
 from ..control.routing import PATH_METRICS, RouteError
 from ..core.requests import (
@@ -50,6 +51,7 @@ from ..core.requests import (
 )
 from ..netsim.units import S
 from ..network.builder import Network
+from ..obs.snapshots import SnapshotEmitter
 from .arrivals import (
     DEFAULT_CLASSES,
     PriorityClass,
@@ -116,7 +118,10 @@ class TrafficEngine:
                  fail_links: int = 0, mtbf_s: Optional[float] = None,
                  mttr_s: Optional[float] = None,
                  watch_interval_ms: float = 20.0, miss_limit: int = 3,
-                 apps: Optional[Sequence[str]] = None):
+                 apps: Optional[Sequence[str]] = None,
+                 metrics_out: Optional[str] = None,
+                 snapshot_interval_s: float = 0.5,
+                 trace_out: Optional[str] = None):
         """``metric`` picks the routing metric for every circuit;
         ``fail_links``/``mtbf_s``/``mttr_s`` configure the outage model of
         :func:`repro.traffic.faults.fault_schedule`;
@@ -124,7 +129,14 @@ class TrafficEngine:
         keepalive declares a circuit dead; ``apps`` assigns application
         services (:mod:`repro.apps`) to circuits round-robin — every
         delivered pair then flows into the circuit's app consumer and the
-        report gains a per-app SLO section."""
+        report gains a per-app SLO section.
+
+        Observability: ``metrics_out`` streams the network's metrics
+        registry to that JSONL path every ``snapshot_interval_s``
+        simulated seconds (:class:`repro.obs.SnapshotEmitter`);
+        ``trace_out`` attaches a causal :class:`repro.obs.SpanTracer`
+        (unless the network already carries one) and writes the span
+        tree there after the run."""
         if circuits < 1:
             raise ValueError("need at least one circuit")
         if load <= 0:
@@ -149,6 +161,8 @@ class TrafficEngine:
                                  "(omit it for an app-less workload)")
             for app in apps:
                 get_app(app)  # raises a vocabulary-naming ValueError
+        if snapshot_interval_s <= 0:
+            raise ValueError("snapshot_interval_s must be positive")
         self.net = net
         self.num_circuits = circuits
         self.load = load
@@ -168,6 +182,32 @@ class TrafficEngine:
         self.watch_interval_ms = watch_interval_ms
         self.miss_limit = miss_limit
         self.apps = None if apps is None else tuple(apps)
+        self.metrics_out = metrics_out
+        self.snapshot_interval_s = snapshot_interval_s
+        self.trace_out = trace_out
+        #: The run's snapshot emitter (None without ``metrics_out``).
+        self.emitter: Optional[SnapshotEmitter] = None
+        # Session counters are pushed at the same points the session
+        # records are written, so the final snapshot frame matches the
+        # report's admission tallies exactly.  Registering them up front
+        # makes the series present (at zero) from the first snapshot.
+        obs = net.obs
+        self._c_submitted = obs.counter("traffic.sessions_submitted")
+        self._c_decision = {
+            "accepted": obs.counter("traffic.sessions_accepted"),
+            "queued": obs.counter("traffic.sessions_queued"),
+            "rejected": obs.counter("traffic.sessions_rejected"),
+            "lost": obs.counter("traffic.sessions_lost"),
+        }
+        self._c_pairs = obs.counter("traffic.pairs_confirmed")
+        self._h_latency = obs.histogram("traffic.pair_latency_ms")
+        obs.gauge("traffic.sessions_active", source=lambda: sum(
+            1 for record in self.records
+            if record.handle.status in (RequestStatus.ACTIVE,
+                                        RequestStatus.QUEUED)))
+        obs.counter("traffic.sessions_completed", source=lambda: sum(
+            1 for record in self.records
+            if record.handle.status == RequestStatus.COMPLETED))
         #: Circuit index → live app service instance (populated on install).
         self._app_services: dict[int, object] = {}
         self._app_outcomes = None
@@ -283,6 +323,12 @@ class TrafficEngine:
             self._app_outcomes = [
                 self._app_services[index].finalise(elapsed_s)
                 for index in sorted(self._app_services)]
+            obs = self.net.obs
+            for outcome in self._app_outcomes:
+                obs.counter("apps.pairs_consumed").inc(
+                    outcome.pairs_consumed)
+                obs.counter("apps.slo_met" if outcome.slo.met
+                            else "apps.slo_missed").inc()
         return self._app_outcomes
 
     def _explicit_pairs(self):
@@ -352,10 +398,20 @@ class TrafficEngine:
                 "this engine already ran (its circuits are torn down); "
                 "build a fresh TrafficEngine on a fresh network")
         self._ran = True
+        if self.trace_out is not None and self.net.tracer is None:
+            attach_tracer(self.net)
         self.install()
         sim = self.net.sim
         start_ns = sim.now
         horizon_ns = horizon_s * S
+        if self.metrics_out is not None:
+            self.emitter = SnapshotEmitter(
+                sim, self.net.obs, self.metrics_out,
+                interval_s=self.snapshot_interval_s,
+                meta={"seed": self.seed, "formalism": self.net.formalism,
+                      "circuits": len(self.circuits),
+                      "horizon_s": horizon_s})
+            self.emitter.start()
         if self.fail_links > 0:
             self._arm_faults(start_ns, horizon_ns)
         schedule = poisson_schedule(
@@ -379,12 +435,21 @@ class TrafficEngine:
         # Let the TEAR messages propagate so every node along every path
         # drops its circuit state (the grace is excluded from telemetry).
         self.net.run(until_s=(sim.now + 0.01 * S) / S)
+        # App outcomes push their SLO counters; finalise *after* them so
+        # the last snapshot frame carries the exact end-of-run registry —
+        # the report below reads its headline totals from the same frame.
+        outcomes = self.app_outcomes()
+        if self.trace_out is not None:
+            self.net.tracer.write_jsonl(self.trace_out)
+        if self.emitter is not None:
+            self.emitter.finalise()
         return build_report(self.net, self.circuits, self.records,
                             horizon_ns=horizon_ns,
                             elapsed_ns=elapsed_ns,
                             classes=self.classes,
                             recovery=self._recovery_stats(),
-                            apps=self.app_outcomes())
+                            apps=outcomes,
+                            obs=self.net.obs)
 
     # ------------------------------------------------------------------
     # Fault injection and circuit recovery
@@ -487,6 +552,7 @@ class TrafficEngine:
             UserRequest(num_pairs=remaining, deadline=deadline_ns),
             record_fidelity=True,
             on_matched=self._consumer_for(circuit))
+        self._count_deliveries(handle)
         record.prior_handles.append(record.handle)
         record.handle = handle
         record.circuit_id = circuit.circuit_id
@@ -510,6 +576,23 @@ class TrafficEngine:
             route_computations=(controller.route_computations
                                 if controller is not None else 0),
         )
+
+    def _count_deliveries(self, handle: RequestHandle) -> None:
+        """Stream this handle's confirmed pairs into the registry.
+
+        A delivery is counted on the notification that carries the
+        CONFIRMED status — exactly once per pair: KEEP/MEASURE pairs are
+        delivered already confirmed, EARLY pairs notify first as PENDING
+        and again when the cross-check confirms (or never, when they
+        expire).  The counter therefore matches the report's
+        ``pairs_confirmed`` tally, which scans the same handles.
+        """
+        def counted(delivery):
+            if delivery.status == DeliveryStatus.CONFIRMED:
+                self._c_pairs.inc()
+                self._h_latency.observe(
+                    (self.net.sim.now - handle.t_submitted) / 1e6)
+        handle.on_delivery(counted)
 
     def _consumer_for(self, circuit: TrafficCircuit):
         """The delivery fan-in hook of a circuit's app service (or None).
@@ -538,6 +621,8 @@ class TrafficEngine:
             handle = RequestHandle(request, 0.0)
             handle.t_submitted = self.net.sim.now
             handle.status = RequestStatus.ABORTED
+            self._c_submitted.inc()
+            self._c_decision["lost"].inc()
             self.records.append(SessionRecord(
                 spec=spec, circuit_id=circuit.circuit_id,
                 handle=handle, decision="lost", outcome="lost"))
@@ -558,6 +643,9 @@ class TrafficEngine:
             decision = "queued"
         else:
             decision = "accepted"
+        self._c_submitted.inc()
+        self._c_decision[decision].inc()
+        self._count_deliveries(handle)
         self.records.append(SessionRecord(
             spec=spec, circuit_id=circuit.circuit_id,
             handle=handle, decision=decision))

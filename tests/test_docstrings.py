@@ -14,7 +14,7 @@ import pkgutil
 import pytest
 
 PACKAGES = ("repro.apps", "repro.campaign", "repro.control",
-            "repro.traffic")
+            "repro.obs", "repro.traffic")
 
 
 def _modules():

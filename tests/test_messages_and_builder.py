@@ -3,7 +3,17 @@
 from repro.core.messages import Complete, Direction, Expire, Forward, Track
 from repro.core.requests import DeliveryStatus, PairDelivery, RequestType
 from repro.network.builder import MatchedPair, Network, _Submission
+from repro.obs import MetricsRegistry
 from repro.quantum import BellIndex
+
+
+def bare_network():
+    """A Network shell for matching-logic unit tests: no topology, just
+    the attributes ``_match`` touches (metrics registry, no tracer)."""
+    net = Network.__new__(Network)
+    net.obs = MetricsRegistry()
+    net.tracer = None
+    return net
 
 
 def make_forward(**overrides):
@@ -56,7 +66,7 @@ def make_delivery(pair_id, status=DeliveryStatus.CONFIRMED, qubit=None):
 class TestSubmissionMatching:
     def test_matching_requires_both_ends(self):
         submission = _Submission(handle=None, record_fidelity=True)
-        net = Network.__new__(Network)  # matching logic only
+        net = bare_network()  # matching logic only
         net._match(submission, make_delivery(("p", 0)), is_head=True)
         assert submission.matched == []
         net._match(submission, make_delivery(("p", 0)), is_head=False)
@@ -68,14 +78,14 @@ class TestSubmissionMatching:
 
     def test_distinct_pair_ids_do_not_match(self):
         submission = _Submission(handle=None, record_fidelity=True)
-        net = Network.__new__(Network)
+        net = bare_network()
         net._match(submission, make_delivery(("p", 0)), is_head=True)
         net._match(submission, make_delivery(("p", 1)), is_head=False)
         assert submission.matched == []
 
     def test_matching_disabled_without_recording(self):
         submission = _Submission(handle=None, record_fidelity=False)
-        net = Network.__new__(Network)
+        net = bare_network()
         net._match(submission, make_delivery(("p", 0)), is_head=True)
         net._match(submission, make_delivery(("p", 0)), is_head=False)
         assert submission.matched == []
@@ -85,7 +95,7 @@ class TestSubmissionMatching:
 
         submission = _Submission(handle=None, record_fidelity=True,
                                  oracle_min_fidelity=0.9)
-        net = Network.__new__(Network)
+        net = bare_network()
         good_a, good_b = create_pair(bell_dm(0))
         net._match(submission, make_delivery(("p", 0), qubit=good_a),
                    is_head=True)
@@ -103,7 +113,7 @@ class TestSubmissionMatching:
 
     def test_pending_deliveries_not_matched(self):
         submission = _Submission(handle=None, record_fidelity=True)
-        net = Network.__new__(Network)
+        net = bare_network()
         net._on_head_delivery(submission,
                               make_delivery(("p", 0),
                                             status=DeliveryStatus.PENDING))
