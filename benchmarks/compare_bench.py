@@ -125,6 +125,17 @@ THROUGHPUT_FLOORS = {
     "bell": 9360.0,
 }
 
+#: Memory ceilings (kB) enforced by ``--check-speedups``: the fresh
+#: payload's ``soak_max_rss_kb[scenario]`` must stay *below* the ceiling.
+#: The checkpoint/retirement PR measured ~105 MB peak through the bell
+#: soak (historical full-suite peaks: 107-110 MB); 220 MB leaves 2x
+#: headroom for interpreter/runner drift while still tripping on any
+#: unbounded session-state growth, which scales with the pair rate and
+#: blows through 2x within a fraction of the soak horizon.
+RSS_CEILINGS = {
+    "traffic_soak_bell": 220_000,
+}
+
 
 def check_speedups(fresh: dict, floors: dict | None = None) -> list[str]:
     """Speedup-floor violations in a fresh payload (empty list = pass).
@@ -160,6 +171,27 @@ def check_throughput(fresh: dict, floors: dict | None = None) -> list[str]:
             failures.append(
                 f"traffic_pairs_per_s[{formalism}]: {value:g} is below "
                 f"the floor {floor:g}")
+    return failures
+
+
+def check_rss(fresh: dict, ceilings: dict | None = None) -> list[str]:
+    """Soak memory-ceiling violations (empty list = pass).
+
+    Scenarios absent from ``soak_max_rss_kb`` are skipped (subset runs,
+    non-POSIX platforms without ``resource``).  Unlike the wall-clock
+    gate this is a one-sided absolute bound: RSS is noisy upward by a
+    few percent across runners, so the ceiling carries 2x headroom and
+    catches only leak-class regressions.
+    """
+    ceilings = RSS_CEILINGS if ceilings is None else ceilings
+    rss = fresh.get("soak_max_rss_kb") or {}
+    failures = []
+    for scenario, ceiling in sorted(ceilings.items()):
+        value = rss.get(scenario)
+        if value is not None and value > ceiling:
+            failures.append(
+                f"soak_max_rss_kb[{scenario}]: {value} kB exceeds "
+                f"the ceiling {ceiling} kB")
     return failures
 
 
@@ -230,8 +262,9 @@ def main(argv=None) -> int:
     parser.add_argument("--check-speedups", action="store_true",
                         help="also enforce the bell-vs-dm speedup floors"
                              " (bell must never be slower than dm on the"
-                             " gated ops) and the traffic_pairs_per_s"
-                             " simulated-throughput floors")
+                             " gated ops), the traffic_pairs_per_s"
+                             " simulated-throughput floors, and the"
+                             " soak_max_rss_kb memory ceilings")
     args = parser.parse_args(argv)
 
     exclude = changed_since(args.base) if args.base else frozenset()
@@ -249,13 +282,14 @@ def main(argv=None) -> int:
     else:
         print("\nOK: no tracked op regressed beyond the threshold")
     if args.check_speedups:
-        violations = check_speedups(fresh) + check_throughput(fresh)
+        violations = (check_speedups(fresh) + check_throughput(fresh)
+                      + check_rss(fresh))
         if violations:
-            print("FAIL: formalism speedup / throughput floors violated: "
+            print("FAIL: speedup / throughput / memory floors violated: "
                   + "; ".join(violations))
             failed = True
         else:
-            print("OK: bell-vs-dm speedup and throughput floors hold")
+            print("OK: speedup, throughput and memory floors hold")
     return 1 if failed else 0
 
 

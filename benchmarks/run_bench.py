@@ -115,6 +115,21 @@ EVENT_STATS: dict[str, int] = {}
 #: carry the registry view of the scenario alongside the wall times.
 OBS_STATS: dict[str, dict] = {}
 
+#: Peak RSS (kB) observed right after each soak scenario — the memory
+#: trajectory of the long-horizon workload, gated by the
+#: ``compare_bench.py`` RSS ceiling so session-state leaks cannot creep
+#: back in silently.
+RSS_STATS: dict[str, int] = {}
+
+
+def _max_rss_kb():
+    """Peak resident set size so far in kB (None off POSIX)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platforms
+        return None
+    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
 
 def bench_traffic_round(formalism: str):
     """Sustained concurrent traffic: 8 circuits on a 3x3 grid.
@@ -165,6 +180,9 @@ def bench_traffic_soak(formalism: str):
         counters = net.obs.snapshot()["counters"]
         OBS_STATS[formalism] = {name: counters[name]
                                 for name in REQUIRED_SERIES}
+        rss = _max_rss_kb()
+        if rss is not None:
+            RSS_STATS[f"traffic_soak_{formalism}"] = rss
         return report.total_confirmed_pairs
 
     return run
@@ -372,6 +390,12 @@ def main(argv=None) -> int:
         # The soak's final registry counters (what a --metrics-out final
         # snapshot would carry) — deterministic for a fixed seed.
         payload["obs_counters"] = dict(sorted(OBS_STATS.items()))
+    if RSS_STATS:
+        # Peak RSS right after each soak scenario, gated by the
+        # compare_bench.py ceiling (memory-leak tripwire).
+        payload["soak_max_rss_kb"] = dict(sorted(RSS_STATS.items()))
+        for name, value in sorted(RSS_STATS.items()):
+            print(f"soak peak rss ({name}): {value} kB")
     try:
         import resource
 

@@ -21,7 +21,8 @@ see :func:`~repro.campaign.runner.run_campaign`.
 """
 
 from .report import CampaignResult, git_revision
-from .runner import CellResult, ObsConfig, run_campaign, run_cell
+from .runner import (CellResult, ObsConfig, PersistConfig, run_campaign,
+                     run_cell)
 from .spec import (
     AXIS_DEFAULTS,
     AXIS_ORDER,
@@ -40,6 +41,7 @@ __all__ = [
     "CellResult",
     "FaultSpec",
     "ObsConfig",
+    "PersistConfig",
     "git_revision",
     "load_spec",
     "run_campaign",

@@ -68,6 +68,35 @@ class ObsConfig:
 
 
 @dataclass(frozen=True)
+class PersistConfig:
+    """Durability knobs for a campaign's cells.
+
+    Frozen and field-picklable like :class:`ObsConfig` — it rides into
+    the pool workers via :func:`functools.partial`.  With a
+    ``checkpoint_dir``, every cell writes its own durable checkpoint
+    (``cell<index>.ckpt``) on the configured interval; with ``resume``,
+    cells whose checkpoint file survived a kill pick up from it instead
+    of starting over (cells without one run fresh — resuming a campaign
+    is always safe).
+    """
+
+    #: Directory for per-cell checkpoints (None = checkpointing off).
+    checkpoint_dir: Optional[str] = None
+    #: Simulated seconds between checkpoint writes.
+    checkpoint_interval_s: float = 1.0
+    #: Resume cells from surviving checkpoints instead of starting over.
+    resume: bool = False
+    #: Bound per-cell memory by retiring finished sessions.
+    retire_sessions: bool = False
+
+    def checkpoint_path(self, cell: "CampaignCell") -> Optional[str]:
+        """This cell's checkpoint file (None when checkpointing is off)."""
+        if self.checkpoint_dir is None:
+            return None
+        return str(Path(self.checkpoint_dir) / f"cell{cell.index}.ckpt")
+
+
+@dataclass(frozen=True)
 class CellResult:
     """One executed cell, reduced to shard-order-independent scalars."""
 
@@ -139,27 +168,45 @@ class CellResult:
 
 
 def run_cell(cell: CampaignCell,
-             obs: Optional[ObsConfig] = None) -> CellResult:
+             obs: Optional[ObsConfig] = None,
+             persist: Optional["PersistConfig"] = None) -> CellResult:
     """Execute one campaign cell end to end and reduce its telemetry.
 
     Module-level (picklable) on purpose: this is the function the pool
     workers receive.  Deterministic in the cell alone; ``obs`` adds
-    per-cell metrics/trace files without touching the telemetry scalars.
+    per-cell metrics/trace files and ``persist`` per-cell durable
+    checkpoints without touching the telemetry scalars.  With
+    ``persist.resume``, a cell whose checkpoint file survived a kill is
+    loaded and finished instead of re-run from scratch.
     """
     obs = obs or ObsConfig()
+    persist = persist or PersistConfig()
+    checkpoint = persist.checkpoint_path(cell)
     try:
-        net = build_topology(cell.topology, cell.size, seed=cell.seed,
-                             formalism=cell.formalism)
-        engine = TrafficEngine(
-            net, circuits=cell.circuits, load=cell.load,
-            target_fidelity=cell.target_fidelity, seed=cell.seed,
-            metric=cell.metric, fail_links=cell.faults.fail_links,
-            mtbf_s=cell.faults.mtbf_s, mttr_s=cell.faults.mttr_s,
-            apps=None if cell.app is None else [cell.app],
-            metrics_out=obs.metrics_path(cell),
-            snapshot_interval_s=obs.snapshot_interval_s,
-            trace_out=obs.trace_path(cell))
-        report = engine.run(horizon_s=cell.horizon_s, drain_s=cell.drain_s)
+        if (persist.resume and checkpoint is not None
+                and Path(checkpoint).exists()):
+            from ..persist import load_checkpoint
+
+            engine = load_checkpoint(checkpoint)
+            net = engine.net
+            report = engine.resume_run()
+        else:
+            net = build_topology(cell.topology, cell.size, seed=cell.seed,
+                                 formalism=cell.formalism)
+            engine = TrafficEngine(
+                net, circuits=cell.circuits, load=cell.load,
+                target_fidelity=cell.target_fidelity, seed=cell.seed,
+                metric=cell.metric, fail_links=cell.faults.fail_links,
+                mtbf_s=cell.faults.mtbf_s, mttr_s=cell.faults.mttr_s,
+                apps=None if cell.app is None else [cell.app],
+                metrics_out=obs.metrics_path(cell),
+                snapshot_interval_s=obs.snapshot_interval_s,
+                trace_out=obs.trace_path(cell),
+                checkpoint_out=checkpoint,
+                checkpoint_interval_s=persist.checkpoint_interval_s,
+                retire_sessions=persist.retire_sessions)
+            report = engine.run(horizon_s=cell.horizon_s,
+                                drain_s=cell.drain_s)
     except (ValueError, RuntimeError) as exc:
         return _error_result(cell, f"{type(exc).__name__}: {exc}")
     recovery = report.recovery
@@ -206,7 +253,8 @@ def _error_result(cell: CampaignCell, message: str) -> CellResult:
 
 def run_campaign(spec: CampaignSpec, workers: int = 1,
                  cells: Optional[list[CampaignCell]] = None,
-                 obs: Optional[ObsConfig] = None) -> CampaignResult:
+                 obs: Optional[ObsConfig] = None,
+                 persist: Optional[PersistConfig] = None) -> CampaignResult:
     """Expand a spec and execute every cell, sharded over ``workers``.
 
     ``workers=1`` runs serially in-process; ``workers>1`` shards the cell
@@ -223,6 +271,9 @@ def run_campaign(spec: CampaignSpec, workers: int = 1,
     ``obs`` turns on per-cell observability artifacts (metrics snapshot
     and span-trace JSONL files named by cell index) — the directories
     are created up front so pool workers never race on mkdir.
+    ``persist`` adds per-cell durable checkpoints the same way
+    (``cell<index>.ckpt``), and with ``persist.resume`` finishes killed
+    cells from their surviving checkpoints.
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
@@ -234,6 +285,10 @@ def run_campaign(spec: CampaignSpec, workers: int = 1,
         for directory in (obs.metrics_dir, obs.trace_dir):
             if directory is not None:
                 Path(directory).mkdir(parents=True, exist_ok=True)
-    runner = run_cell if obs is None else partial(run_cell, obs=obs)
+    if persist is not None and persist.checkpoint_dir is not None:
+        Path(persist.checkpoint_dir).mkdir(parents=True, exist_ok=True)
+    runner = run_cell
+    if obs is not None or persist is not None:
+        runner = partial(run_cell, obs=obs, persist=persist)
     results = map_parallel(runner, cells, workers=workers)
     return CampaignResult(spec=spec, cells=cells, results=list(results))

@@ -121,6 +121,8 @@ def _parse_apps(text):
 def _cmd_traffic(args: argparse.Namespace) -> int:
     from .traffic import TOPOLOGIES, TrafficEngine, build_topology
 
+    if getattr(args, "resume", None):
+        return _resume_traffic(args)
     if args.topology not in TOPOLOGIES:  # pragma: no cover - argparse guards
         raise SystemExit(f"unknown topology {args.topology!r}")
     if args.fail_links < 0:
@@ -150,7 +152,13 @@ def _cmd_traffic(args: argparse.Namespace) -> int:
                            metrics_out=metrics_out,
                            snapshot_interval_s=getattr(
                                args, "snapshot_interval", 0.5),
-                           trace_out=trace_out)
+                           trace_out=trace_out,
+                           checkpoint_out=getattr(args, "checkpoint_out",
+                                                  None),
+                           checkpoint_interval_s=getattr(
+                               args, "checkpoint_interval", 1.0),
+                           retire_sessions=getattr(args, "retire_sessions",
+                                                   False))
     engine.install()
     print(f"installed {len(engine.circuits)} circuits "
           f"(metric {args.metric}, max link share "
@@ -189,13 +197,48 @@ def _cmd_traffic(args: argparse.Namespace) -> int:
               f"(summarise: python -m repro obs --summarise {metrics_out})")
     if trace_out:
         print(f"span trace written to {trace_out}")
+    if getattr(args, "checkpoint_out", None):
+        print(f"last checkpoint at {args.checkpoint_out} "
+              f"({engine.checkpoints_written} written; resume with "
+              f"python -m repro traffic --resume {args.checkpoint_out})")
+    return 0 if report.total_confirmed_pairs > 0 else 1
+
+
+def _resume_traffic(args: argparse.Namespace) -> int:
+    """Continue a checkpointed traffic run (``traffic --resume PATH``).
+
+    The checkpoint carries the whole engine — topology, circuits,
+    workload schedule, observability — so the usual construction flags
+    are ignored; the run simply picks up from its last durable state.
+    """
+    from .persist import CheckpointError, load_checkpoint
+
+    try:
+        engine = load_checkpoint(args.resume)
+    except FileNotFoundError:
+        raise SystemExit(f"no checkpoint at {args.resume}")
+    except CheckpointError as exc:
+        raise SystemExit(f"cannot resume: {exc}")
+    sim_s = engine.net.sim.now / 1e9
+    print(f"resuming from {args.resume}: phase {engine._phase!r} at "
+          f"t={sim_s:.2f} s simulated, {len(engine.records)} sessions "
+          f"recorded ({engine.net.formalism} formalism)")
+    try:
+        report = engine.resume_run()
+    except RuntimeError as exc:
+        raise SystemExit(f"cannot resume: {exc}")
+    print()
+    print(report.render())
+    if engine.metrics_out:
+        print(f"\nmetrics snapshots appended to {engine.metrics_out}")
     return 0 if report.total_confirmed_pairs > 0 else 1
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
     from pathlib import Path
 
-    from .campaign import ObsConfig, git_revision, load_spec, run_campaign
+    from .campaign import (ObsConfig, PersistConfig, git_revision, load_spec,
+                           run_campaign)
 
     if args.workers < 1:
         raise SystemExit("--workers must be >= 1")
@@ -204,6 +247,15 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         obs = ObsConfig(metrics_dir=args.metrics_out,
                         trace_dir=args.trace_out,
                         snapshot_interval_s=args.snapshot_interval)
+    persist = None
+    if args.resume and not args.checkpoint_out:
+        raise SystemExit("--resume requires --checkpoint-out (the directory "
+                         "holding the per-cell checkpoints)")
+    if args.checkpoint_out or args.retire_sessions:
+        persist = PersistConfig(checkpoint_dir=args.checkpoint_out,
+                                checkpoint_interval_s=args.checkpoint_interval,
+                                resume=args.resume,
+                                retire_sessions=args.retire_sessions)
     try:
         spec = load_spec(args.spec)
     except ValueError as exc:
@@ -219,7 +271,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     cells = spec.expand()
     print(f"campaign {spec.name}: {len(cells)} cells, "
           f"{args.workers} worker(s)")
-    result = run_campaign(spec, workers=args.workers, cells=cells, obs=obs)
+    result = run_campaign(spec, workers=args.workers, cells=cells, obs=obs,
+                          persist=persist)
     print()
     print(result.render())
     if obs is not None:
@@ -227,6 +280,9 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                                  ("traces", obs.trace_dir)):
             if directory:
                 print(f"per-cell {label} written under {directory}/")
+    if persist is not None and persist.checkpoint_dir:
+        print(f"per-cell checkpoints written under {persist.checkpoint_dir}/"
+              " (finish a killed campaign with --resume)")
     revision = git_revision(Path.cwd())
     out = Path(args.out) if args.out else Path(f"CAMPAIGN_{revision}.json")
     result.write_json(out, revision=revision)
@@ -407,6 +463,26 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write the causal span trace (circuit ->"
                               " session -> pair lifecycle) to this JSONL"
                               " file after the run")
+    traffic.add_argument("--checkpoint-out", default=None,
+                         dest="checkpoint_out",
+                         help="write a durable checkpoint of the full"
+                              " simulation state to this file every"
+                              " --checkpoint-interval simulated seconds"
+                              " (atomic write-then-rename)")
+    traffic.add_argument("--checkpoint-interval", type=float, default=1.0,
+                         dest="checkpoint_interval",
+                         help="simulated seconds between checkpoint writes"
+                              " (with --checkpoint-out)")
+    traffic.add_argument("--resume", default=None, metavar="CKPT",
+                         help="resume a checkpointed run from this file and"
+                              " finish it (all construction flags are"
+                              " ignored; the checkpoint carries the run)")
+    traffic.add_argument("--retire-sessions", action="store_true",
+                         dest="retire_sessions",
+                         help="bound memory on long horizons: fold finished"
+                              " sessions into slim summaries and free their"
+                              " delivery/match state (reported numbers are"
+                              " unchanged)")
     traffic.set_defaults(fn=_cmd_traffic)
 
     apps = sub.add_parser(
@@ -445,6 +521,21 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--trace-out", default=None, dest="trace_out",
                           help="directory for per-cell span-trace files"
                                " (cell<index>.jsonl)")
+    campaign.add_argument("--checkpoint-out", default=None,
+                          dest="checkpoint_out",
+                          help="directory for per-cell durable checkpoints"
+                               " (cell<index>.ckpt)")
+    campaign.add_argument("--checkpoint-interval", type=float, default=1.0,
+                          dest="checkpoint_interval",
+                          help="simulated seconds between checkpoint writes"
+                               " (with --checkpoint-out)")
+    campaign.add_argument("--resume", action="store_true",
+                          help="finish cells from surviving checkpoints under"
+                               " --checkpoint-out instead of starting over")
+    campaign.add_argument("--retire-sessions", action="store_true",
+                          dest="retire_sessions",
+                          help="bound per-cell memory by folding finished"
+                               " sessions into aggregates")
     campaign.set_defaults(fn=_cmd_campaign)
 
     obs = sub.add_parser(

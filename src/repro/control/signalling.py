@@ -13,15 +13,15 @@ special case of the per-link mapping the paper allows.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from ..core.circuit import RoutingEntry
 from ..netsim.entity import Entity
+from ..netsim.scheduler import SerialCounter
 from ..network.node import QuantumNode
 
-_circuit_ids = itertools.count()
+_circuit_ids = SerialCounter()
 
 
 def allocate_circuit_id(head: str, tail: str) -> str:

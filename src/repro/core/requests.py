@@ -18,14 +18,19 @@ class of service:
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Optional
 
+from ..netsim.scheduler import SerialCounter
 from ..quantum.bell import BellIndex
 
-_request_ids = itertools.count()
+_request_ids = SerialCounter()
+
+
+def _next_request_id() -> str:
+    """Allocate the next globally unique ``req<N>`` identifier."""
+    return f"req{next(_request_ids)}"
 
 
 class RequestType(Enum):
@@ -75,7 +80,7 @@ class UserRequest:
     #: If set, the head-end Pauli-corrects pairs into this Bell state
     #: (unavailable for EARLY requests).
     final_state: Optional[BellIndex] = None
-    request_id: str = field(default_factory=lambda: f"req{next(_request_ids)}")
+    request_id: str = field(default_factory=_next_request_id)
 
     def __post_init__(self):
         if self.num_pairs is None and self.rate is None:

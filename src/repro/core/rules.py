@@ -16,6 +16,8 @@ paper's pseudocode.
 
 from __future__ import annotations
 
+from functools import partial
+
 from ..linklayer.service import LinkPairDelivery
 from ..netsim.timers import Timer
 from ..quantum.bell import BellIndex, combine
@@ -274,7 +276,7 @@ class IntermediateRules:
             up.cancel_timer()
             down.cancel_timer()
             self.node.arbiter.acquire(
-                lambda up=up, down=down: self._perform_swap(runtime, up, down))
+                partial(self._perform_swap, runtime, up, down))
 
     def _perform_swap(self, runtime, up: PairInfo, down: PairInfo) -> None:
         outcome, duration = self.node.device.bell_state_measurement(
@@ -405,5 +407,8 @@ class IntermediateRules:
         duration = self.node.device.move_to_storage(pair.qubit)
         self.node.qmm.rebind_slot(pair.qubit, storage_slot)
         # The device is busy for the move's duration.
-        self.node.arbiter.acquire(
-            lambda: self.call_in(duration, self.node.arbiter.release))
+        self.node.arbiter.acquire(partial(self._hold_device, duration))
+
+    def _hold_device(self, duration: float) -> None:
+        """Occupy the arbitrated device for ``duration`` ns, then release."""
+        self.call_in(duration, self.node.arbiter.release)

@@ -60,15 +60,15 @@ admissible — this one is fixed and documented.)
 
 from __future__ import annotations
 
-import itertools
 import math
+from functools import partial
 from typing import Callable, Optional
 
 import numpy as np
 
 from ..hardware.heralded import SingleClickModel
 from ..netsim.entity import Entity
-from ..netsim.scheduler import Simulator
+from ..netsim.scheduler import SerialCounter, Simulator
 from ..network.arbiter import acquire_ordered, release_all
 from ..network.node import QuantumNode
 from ..network.qmm import Slot
@@ -130,7 +130,7 @@ class Link(Entity):
         #: :meth:`set_priority`).  Each endpoint contributes its own set.
         self._priorities: dict[str, set] = {}
         self._scheduler = FairShareScheduler()
-        self._seq = itertools.count()
+        self._seq = SerialCounter()
         self._running = False
         # Hot-loop caches: the eligible-purpose list only changes on
         # set_request/endorse/end_request, and the comm-qubit pools are
@@ -380,8 +380,8 @@ class Link(Entity):
         self._running = True
         arbiters = [self.node_a.arbiter, self.node_b.arbiter] if self._serialize else []
         if arbiters:
-            acquire_ordered(arbiters, lambda: self._run_round(purpose_id, slot_a,
-                                                              slot_b, arbiters))
+            acquire_ordered(arbiters, partial(self._run_round, purpose_id,
+                                              slot_a, slot_b, arbiters))
         elif self.batched and self._batch_ok:
             self._run_chain(purpose_id, slot_a, slot_b)
         else:

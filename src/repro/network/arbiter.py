@@ -79,6 +79,29 @@ class DeviceArbiter(Entity):
             self._busy = False
 
 
+class _OrderedAcquire:
+    """Continuation of an in-flight :func:`acquire_ordered` chain.
+
+    A picklable callable (the grant callbacks sit in arbiter queues and the
+    event heap, both of which engine checkpoints serialise).
+    """
+
+    __slots__ = ("ordered", "on_all_granted", "index")
+
+    def __init__(self, ordered: list, on_all_granted: Callable[[], None],
+                 index: int):
+        self.ordered = ordered
+        self.on_all_granted = on_all_granted
+        self.index = index
+
+    def __call__(self) -> None:
+        if self.index == len(self.ordered):
+            self.on_all_granted()
+            return
+        self.ordered[self.index].acquire(
+            _OrderedAcquire(self.ordered, self.on_all_granted, self.index + 1))
+
+
 def acquire_ordered(arbiters: list[DeviceArbiter], on_all_granted: Callable[[], None]) -> None:
     """Acquire several devices in a canonical order, then fire the callback.
 
@@ -86,14 +109,7 @@ def acquire_ordered(arbiters: list[DeviceArbiter], on_all_granted: Callable[[], 
     deadlock-free (resource-ordering discipline).
     """
     ordered = sorted(arbiters, key=lambda a: a.name)
-
-    def grab(index: int) -> None:
-        if index == len(ordered):
-            on_all_granted()
-            return
-        ordered[index].acquire(lambda: grab(index + 1))
-
-    grab(0)
+    _OrderedAcquire(ordered, on_all_granted, 0)()
 
 
 def release_all(arbiters: list[DeviceArbiter]) -> None:

@@ -17,6 +17,7 @@ oracle used by the paper's "simpler protocol" baseline.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Optional
 
 import networkx as nx
@@ -98,7 +99,9 @@ class Network:
         self.controller: Optional[CentralController] = None
         self._graph = nx.Graph()
         self._circuit_meta: dict[str, dict] = {}
-        self._submissions: list[_Submission] = []
+        # Keyed by handle (identity hash) so session retirement can free a
+        # finished submission in O(1) — see :meth:`discard_submission`.
+        self._submissions: dict[RequestHandle, _Submission] = {}
         self._identifier_counter = 0
         #: Optional causal span tracer (set by ``attach_trace``/
         #: ``attach_tracer`` — see :mod:`repro.analysis.tracing`).  When
@@ -113,50 +116,89 @@ class Network:
         self._register_instruments()
 
     def _register_instruments(self) -> None:
-        """Register the pull-based core instruments on ``self.obs``."""
+        """Register the pull-based core instruments on ``self.obs``.
+
+        Every source is a bound method (not a lambda) so the registry —
+        which an engine checkpoint pickles wholesale — stays serialisable.
+        """
         obs, sim = self.obs, self.sim
-        obs.counter("sim.events_processed",
-                    source=lambda: sim.events_processed)
-        obs.counter("sim.pool_hits", source=lambda: sim.pool_hits)
-        obs.gauge("sim.heap_size", source=lambda: sim.heap_size)
+        obs.counter("sim.events_processed", source=self._src_sim_events)
+        obs.counter("sim.pool_hits", source=self._src_sim_pool_hits)
+        obs.gauge("sim.heap_size", source=self._src_sim_heap)
         obs.gauge("sim.pending_events", source=sim.pending_events)
-        links, qnps, nodes = self.links, self.qnps, self.nodes
-        obs.counter("egp.attempts", source=lambda: sum(
-            link.attempts_made for link in links.values()))
-        obs.counter("egp.pairs_generated", source=lambda: sum(
-            link.pairs_generated for link in links.values()))
-        obs.gauge("egp.busy_time_s", source=lambda: sum(
-            link.busy_time for link in links.values()) / S)
+        obs.counter("egp.attempts", source=self._src_egp_attempts)
+        obs.counter("egp.pairs_generated", source=self._src_egp_pairs)
+        obs.gauge("egp.busy_time_s", source=self._src_egp_busy_s)
         obs.histogram("egp.chain_slices")
-        obs.counter("qnp.swaps", source=lambda: sum(
-            qnp.swaps_performed for qnp in qnps.values()))
-        obs.counter("qnp.pairs_delivered", source=lambda: sum(
-            qnp.pairs_delivered for qnp in qnps.values()))
-        obs.counter("qnp.pairs_discarded", source=lambda: sum(
-            qnp.pairs_discarded for qnp in qnps.values()))
-        obs.counter("qnp.pairs_expired", source=lambda: sum(
-            qnp.pairs_expired for qnp in qnps.values()))
-        obs.counter("qnp.expires_sent", source=lambda: sum(
-            qnp.expires_sent for qnp in qnps.values()))
-        obs.counter("qnp.tracks_relayed", source=lambda: sum(
-            qnp.tracks_relayed for qnp in qnps.values()))
-        obs.gauge("policer.queue_depth", source=lambda: sum(
-            runtime.policer.queued
-            for qnp in qnps.values()
-            for runtime in qnp._circuits.values()
-            if runtime.policer is not None))
-        obs.counter("arbiter.grants", source=lambda: sum(
-            node.arbiter.grants for node in nodes.values()))
-        obs.counter("arbiter.wait_ns", source=lambda: sum(
-            node.arbiter.total_wait for node in nodes.values()))
-        obs.gauge("arbiter.max_queue", source=lambda: max(
-            (node.arbiter.max_queue_length for node in nodes.values()),
-            default=0))
+        obs.counter("qnp.swaps", source=self._src_qnp_swaps)
+        obs.counter("qnp.pairs_delivered", source=self._src_qnp_delivered)
+        obs.counter("qnp.pairs_discarded", source=self._src_qnp_discarded)
+        obs.counter("qnp.pairs_expired", source=self._src_qnp_expired)
+        obs.counter("qnp.expires_sent", source=self._src_qnp_expires_sent)
+        obs.counter("qnp.tracks_relayed", source=self._src_qnp_tracks)
+        obs.gauge("policer.queue_depth", source=self._src_policer_queue)
+        obs.counter("arbiter.grants", source=self._src_arbiter_grants)
+        obs.counter("arbiter.wait_ns", source=self._src_arbiter_wait)
+        obs.gauge("arbiter.max_queue", source=self._src_arbiter_max_queue)
         # Push-style admission counters (incremented by :meth:`submit`).
         for name in ("policer.accepted", "policer.queued",
                      "policer.rejected"):
             obs.counter(name)
         obs.histogram("traffic.fidelity")
+
+    # Pull-source methods for the registry (picklable bound methods).
+
+    def _src_sim_events(self) -> int:
+        return self.sim.events_processed
+
+    def _src_sim_pool_hits(self) -> int:
+        return self.sim.pool_hits
+
+    def _src_sim_heap(self) -> int:
+        return self.sim.heap_size
+
+    def _src_egp_attempts(self) -> int:
+        return sum(link.attempts_made for link in self.links.values())
+
+    def _src_egp_pairs(self) -> int:
+        return sum(link.pairs_generated for link in self.links.values())
+
+    def _src_egp_busy_s(self) -> float:
+        return sum(link.busy_time for link in self.links.values()) / S
+
+    def _src_qnp_swaps(self) -> int:
+        return sum(qnp.swaps_performed for qnp in self.qnps.values())
+
+    def _src_qnp_delivered(self) -> int:
+        return sum(qnp.pairs_delivered for qnp in self.qnps.values())
+
+    def _src_qnp_discarded(self) -> int:
+        return sum(qnp.pairs_discarded for qnp in self.qnps.values())
+
+    def _src_qnp_expired(self) -> int:
+        return sum(qnp.pairs_expired for qnp in self.qnps.values())
+
+    def _src_qnp_expires_sent(self) -> int:
+        return sum(qnp.expires_sent for qnp in self.qnps.values())
+
+    def _src_qnp_tracks(self) -> int:
+        return sum(qnp.tracks_relayed for qnp in self.qnps.values())
+
+    def _src_policer_queue(self) -> int:
+        return sum(runtime.policer.queued
+                   for qnp in self.qnps.values()
+                   for runtime in qnp._circuits.values()
+                   if runtime.policer is not None)
+
+    def _src_arbiter_grants(self) -> int:
+        return sum(node.arbiter.grants for node in self.nodes.values())
+
+    def _src_arbiter_wait(self) -> float:
+        return sum(node.arbiter.total_wait for node in self.nodes.values())
+
+    def _src_arbiter_max_queue(self) -> int:
+        return max((node.arbiter.max_queue_length
+                    for node in self.nodes.values()), default=0)
 
     # ------------------------------------------------------------------
     # Construction
@@ -300,13 +342,15 @@ class Network:
                 if label is not None:
                     tracer.alias(("purpose", label), span)
 
-        def _traced_ready(ready_circuit_id: str) -> None:
-            tracer.point("INSTALL", head, self.sim.now, parent=span,
-                         circuit=circuit_id)
-            if on_ready is not None:
-                on_ready(ready_circuit_id)
+        return partial(self._traced_ready, span, head, circuit_id, on_ready)
 
-        return _traced_ready
+    def _traced_ready(self, span, head, circuit_id, on_ready,
+                      ready_circuit_id: str) -> None:
+        """INSTALL mark + chained ``on_ready`` for a traced circuit."""
+        self.tracer.point("INSTALL", head, self.sim.now, parent=span,
+                          circuit=circuit_id)
+        if on_ready is not None:
+            on_ready(ready_circuit_id)
 
     def _install(self, route: RouteComputation, max_eer: Optional[float],
                  cutoff_policy=None) -> str:
@@ -477,7 +521,7 @@ class Network:
             on_matched=on_matched,
         )
         self.qnps[tail].register_application(
-            tail_id, lambda delivery: self._on_tail_delivery(submission, delivery))
+            tail_id, partial(self._on_tail_delivery, submission))
         handle = self.qnps[head].submit(circuit_id, request,
                                         head_end_identifier=head_id,
                                         tail_end_identifier=tail_id)
@@ -490,10 +534,19 @@ class Network:
             self.obs.counter(decision).inc()
         handle.tail_deliveries = submission.tail_deliveries  # type: ignore[attr-defined]
         handle.matched_pairs = submission.matched  # type: ignore[attr-defined]
-        handle.on_delivery(lambda delivery: self._on_head_delivery(submission,
-                                                                   delivery))
-        self._submissions.append(submission)
+        handle.on_delivery(partial(self._on_head_delivery, submission))
+        self._submissions[handle] = submission
         return handle
+
+    def discard_submission(self, handle: RequestHandle) -> None:
+        """Drop the façade's book-keeping for a finished submission.
+
+        Session retirement calls this once a session is terminal and its
+        telemetry has been folded into aggregates, so the matched-pair and
+        delivery lists (the per-session memory that grows with traffic) can
+        be garbage collected.  Safe to call for unknown handles.
+        """
+        self._submissions.pop(handle, None)
 
     def _next_identifier(self) -> int:
         self._identifier_counter += 1
@@ -561,9 +614,17 @@ class Network:
         """Run the simulation (``until_s`` in simulated seconds)."""
         self.sim.run(until=None if until_s is None else until_s * S)
 
-    def run_until_complete(self, handles, timeout_s: float = 300.0) -> None:
-        """Run until all handles reach a terminal state (or timeout)."""
-        deadline = self.sim.now + timeout_s * S
+    def run_until_complete(self, handles, timeout_s: float = 300.0,
+                           deadline_s: Optional[float] = None) -> None:
+        """Run until all handles reach a terminal state (or timeout).
+
+        ``deadline_s`` is an *absolute* simulated-time cutoff overriding
+        the relative ``timeout_s`` — checkpoint/resume drains use it so a
+        resumed run stops at the same instant the uninterrupted one
+        would have.
+        """
+        deadline = (self.sim.now + timeout_s * S if deadline_s is None
+                    else deadline_s * S)
         terminal = (RequestStatus.COMPLETED, RequestStatus.REJECTED,
                     RequestStatus.ABORTED)
         while any(handle.status not in terminal for handle in handles):

@@ -8,6 +8,7 @@ the QNP engine) that gets attached by the topology builder.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Any, Callable, Optional
 
 from ..hardware.nv import NVDevice
@@ -75,7 +76,7 @@ class QuantumNode(Entity):
         if neighbour in self._channels:
             raise ValueError(f"{self.name}: channel to {neighbour} already attached")
         self._channels[neighbour] = end
-        end.connect(lambda message: self._on_message(neighbour, message))
+        end.connect(partial(self._on_message, neighbour))
 
     def send(self, neighbour: str, kind: str, payload: Any) -> None:
         """Send a classical control message to a directly connected node."""

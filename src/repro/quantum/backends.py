@@ -33,6 +33,57 @@ from .qubit import Qubit
 from .states import QState
 
 
+class _ForwardingPairMaker:
+    """Default ``link_pair_factory`` product: forwards to the backend.
+
+    A callable class (not a closure) so installed link requests — which hold
+    their pair maker for their whole lifetime — survive pickling in engine
+    checkpoints.
+    """
+
+    __slots__ = ("backend", "model", "alpha")
+
+    def __init__(self, backend: "Backend", model, alpha: float):
+        self.backend = backend
+        self.model = model
+        self.alpha = alpha
+
+    def __call__(self, bell_index, name_a="", name_b=""):
+        return self.backend.create_link_pair(self.model, self.alpha,
+                                             bell_index, name_a, name_b)
+
+
+class _DmPairMaker:
+    """Pair maker with the two heralded density matrices prebound."""
+
+    __slots__ = ("matrices",)
+
+    def __init__(self, matrices: dict):
+        self.matrices = matrices
+
+    def __call__(self, bell_index, name_a="", name_b=""):
+        qubit_a = Qubit(name_a)
+        qubit_b = Qubit(name_b)
+        QState.from_trusted_dm(self.matrices[bell_index], [qubit_a, qubit_b])
+        return qubit_a, qubit_b
+
+
+class _BellPairMaker:
+    """Pair maker with the two heralded weight vectors prebound."""
+
+    __slots__ = ("weights",)
+
+    def __init__(self, weights: dict):
+        self.weights = weights
+
+    def __call__(self, bell_index, name_a="", name_b=""):
+        qubit_a = Qubit(name_a)
+        qubit_b = Qubit(name_b)
+        BellPairState.from_trusted_weights(self.weights[bell_index],
+                                           [qubit_a, qubit_b])
+        return qubit_a, qubit_b
+
+
 class Backend:
     """Strategy object deciding how entangled pairs are represented.
 
@@ -65,13 +116,11 @@ class Backend:
         :meth:`create_link_pair`) can be hoisted out of the generation loop
         entirely.  Returns ``make(bell_index, name_a, name_b)``; the default
         simply forwards to :meth:`create_link_pair` so custom backends keep
-        working unchanged.
+        working unchanged.  All factory products are picklable callables:
+        installed link requests hold them, and engine checkpoints pickle
+        installed requests.
         """
-        def make(bell_index: BellIndex, name_a: str = "",
-                 name_b: str = "") -> Tuple[Qubit, Qubit]:
-            return self.create_link_pair(model, alpha, bell_index,
-                                         name_a, name_b)
-        return make
+        return _ForwardingPairMaker(self, model, alpha)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} {self.name!r}>"
@@ -100,14 +149,7 @@ class DensityMatrixBackend(Backend):
         """Prebind the two heralded density matrices (Ψ±) for this α."""
         matrices = {index: model.produced_dm(alpha, index)
                     for index in (BellIndex.PSI_PLUS, BellIndex.PSI_MINUS)}
-
-        def make(bell_index, name_a="", name_b=""):
-            qubit_a = Qubit(name_a)
-            qubit_b = Qubit(name_b)
-            QState.from_trusted_dm(matrices[bell_index], [qubit_a, qubit_b])
-            return qubit_a, qubit_b
-
-        return make
+        return _DmPairMaker(matrices)
 
 
 class BellDiagonalBackend(Backend):
@@ -132,15 +174,7 @@ class BellDiagonalBackend(Backend):
         """Prebind the two heralded weight vectors (Ψ±) for this α."""
         weights = {index: model.produced_weights(alpha, index)
                    for index in (BellIndex.PSI_PLUS, BellIndex.PSI_MINUS)}
-        from_trusted = BellPairState.from_trusted_weights
-
-        def make(bell_index, name_a="", name_b=""):
-            qubit_a = Qubit(name_a)
-            qubit_b = Qubit(name_b)
-            from_trusted(weights[bell_index], [qubit_a, qubit_b])
-            return qubit_a, qubit_b
-
-        return make
+        return _BellPairMaker(weights)
 
 
 _BACKENDS: dict[str, Backend] = {

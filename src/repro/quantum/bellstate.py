@@ -130,6 +130,18 @@ class BellPairState:
         except Exception:  # pragma: no cover - interpreter shutdown
             pass
 
+    def __getstate__(self):
+        # Row indices are process-local: a checkpoint carries the weights
+        # themselves, and restore re-allocates a fresh row in whatever store
+        # the unpickling process owns.
+        weights = (np.array(STORE._w[self._row]) if self._row >= 0 else None)
+        return (weights, self.qubits)
+
+    def __setstate__(self, state):
+        weights, qubits = state
+        self._row = STORE.alloc(weights) if weights is not None else -1
+        self.qubits = qubits
+
     # ------------------------------------------------------------------
     # Introspection (QState-compatible surface)
     # ------------------------------------------------------------------

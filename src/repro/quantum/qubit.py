@@ -8,14 +8,15 @@ qubit with its memory decoherence parameters so noise can be applied lazily.
 
 from __future__ import annotations
 
-import itertools
 import math
 from typing import TYPE_CHECKING, Optional
+
+from ..netsim.scheduler import SerialCounter
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .states import QState
 
-_qubit_ids = itertools.count()
+_qubit_ids = SerialCounter()
 
 
 class Qubit:

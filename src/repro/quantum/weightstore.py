@@ -120,6 +120,23 @@ class BellWeightStore:
         self._free.append(row)
         self.live -= 1
 
+    def state_dict(self) -> dict:
+        """Serialisable snapshot of the store: matrix copy, free-list and
+        live/peak counters.  Used by the checkpoint round-trip tests; full
+        engine checkpoints instead re-allocate rows through the pickled
+        :class:`~repro.quantum.bellstate.BellPairState` handles, so row
+        indices never need to survive a process boundary."""
+        return {"w": self._w.copy(), "free": list(self._free),
+                "live": self.live, "peak_live": self.peak_live}
+
+    def load_state(self, state: dict) -> None:
+        """Restore a snapshot taken by :meth:`state_dict` (overwriting all
+        current rows; any live handles into the old matrix become stale)."""
+        self._w = np.array(state["w"], dtype=float)
+        self._free = list(state["free"])
+        self.live = int(state["live"])
+        self.peak_live = int(state["peak_live"])
+
     def _grow(self) -> None:
         old = self._w
         n = old.shape[0]

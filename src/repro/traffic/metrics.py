@@ -39,6 +39,32 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from .workload import SessionRecord, TrafficCircuit
 
 
+@dataclass(frozen=True)
+class RetiredSummary:
+    """A finished session's telemetry, frozen at retirement time.
+
+    Session retirement (``TrafficEngine(retire_sessions=True)``) folds a
+    terminal :class:`~repro.traffic.workload.SessionRecord` into this
+    aggregate and drops its handle graph — the delivery and matched-pair
+    lists that grow with traffic.  The summary preserves exactly what
+    :func:`build_report` reads per record, so retirement never changes a
+    reported number (ordering included: ``fidelities`` keeps the
+    per-incarnation match order).
+    """
+
+    #: Final request state of the last incarnation.
+    status: RequestStatus
+    #: CONFIRMED deliveries summed over every incarnation.
+    pairs_confirmed: int
+    #: Measured pair fidelities, in match order across incarnations.
+    fidelities: tuple
+    #: Submission time of the last incarnation (ns).
+    t_submitted: float
+    #: Activation time of the last incarnation (ns; None if never shaped
+    #: out of the queue).
+    t_started: Optional[float]
+
+
 @dataclass
 class ClassTally:
     """Admission and completion accounting for one priority class."""
@@ -380,9 +406,52 @@ def record_handles(record: "SessionRecord") -> list:
 
     Recovery replaces a session's handle when it is re-submitted on the
     replacement circuit; delivery accounting must span every
-    incarnation.
+    incarnation.  Empty for retired records (their handles are gone —
+    read the :class:`RetiredSummary` instead).
     """
+    if getattr(record, "handle", None) is None:
+        return []
     return list(getattr(record, "prior_handles", ())) + [record.handle]
+
+
+def record_status(record: "SessionRecord") -> RequestStatus:
+    """A session's final request state (summary-aware)."""
+    summary = getattr(record, "summary", None)
+    if summary is not None:
+        return summary.status
+    return record.handle.status
+
+
+def record_confirmed(record: "SessionRecord") -> int:
+    """CONFIRMED deliveries across all incarnations (summary-aware)."""
+    summary = getattr(record, "summary", None)
+    if summary is not None:
+        return summary.pairs_confirmed
+    return sum(1 for handle in record_handles(record)
+               for delivery in handle.delivered
+               if delivery.status == DeliveryStatus.CONFIRMED)
+
+
+def record_fidelities(record: "SessionRecord") -> list:
+    """Measured fidelities across all incarnations, in match order."""
+    summary = getattr(record, "summary", None)
+    if summary is not None:
+        return list(summary.fidelities)
+    return [pair.fidelity for handle in record_handles(record)
+            for pair in getattr(handle, "matched_pairs", [])
+            if pair.fidelity is not None]
+
+
+def record_shaping(record: "SessionRecord") -> Optional[float]:
+    """Submission→activation delay (ns), or None if never activated."""
+    summary = getattr(record, "summary", None)
+    if summary is not None:
+        if summary.t_started is None:
+            return None
+        return summary.t_started - summary.t_submitted
+    if record.handle.t_started is None:
+        return None
+    return record.handle.t_started - record.handle.t_submitted
 
 
 def build_report(net: "Network", circuits: Sequence["TrafficCircuit"],
@@ -426,34 +495,25 @@ def build_report(net: "Network", circuits: Sequence["TrafficCircuit"],
             tally.recovered += 1
         elif outcome == "lost":
             tally.lost += 1
-        handle = record.handle
-        status = handle.status
+        status = record_status(record)
         if status == RequestStatus.COMPLETED:
             tally.completed += 1
         elif status == RequestStatus.ABORTED:
             tally.aborted += 1
         elif status != RequestStatus.REJECTED:
             tally.unfinished += 1
-        for incarnation in record_handles(record):
-            confirmed = sum(1 for delivery in incarnation.delivered
-                            if delivery.status == DeliveryStatus.CONFIRMED)
-            tally.pairs_confirmed += confirmed
-            matched = getattr(incarnation, "matched_pairs", [])
-            tally.fidelities.extend(pair.fidelity for pair in matched
-                                    if pair.fidelity is not None)
+        tally.pairs_confirmed += record_confirmed(record)
+        tally.fidelities.extend(record_fidelities(record))
         per_circuit_records.setdefault(record.spec.circuit_index,
                                        []).append(record)
 
     circuit_stats = []
     for circuit in circuits:
         circuit_records = per_circuit_records[circuit.index]
-        fidelities = [pair.fidelity for record in circuit_records
-                      for handle in record_handles(record)
-                      for pair in getattr(handle, "matched_pairs", [])
-                      if pair.fidelity is not None]
-        shaping = [record.handle.t_started - record.handle.t_submitted
-                   for record in circuit_records
-                   if record.handle.t_started is not None]
+        fidelities = [fidelity for record in circuit_records
+                      for fidelity in record_fidelities(record)]
+        shaping = [delay for record in circuit_records
+                   if (delay := record_shaping(record)) is not None]
         circuit_stats.append(CircuitStats(
             circuit_id=circuit.circuit_id,
             head=circuit.head,
@@ -462,12 +522,9 @@ def build_report(net: "Network", circuits: Sequence["TrafficCircuit"],
             eer=circuit.eer,
             sessions=len(circuit_records),
             completed=sum(1 for record in circuit_records
-                          if record.handle.status == RequestStatus.COMPLETED),
-            pairs_confirmed=sum(
-                1 for record in circuit_records
-                for handle in record_handles(record)
-                for delivery in handle.delivered
-                if delivery.status == DeliveryStatus.CONFIRMED),
+                          if record_status(record) == RequestStatus.COMPLETED),
+            pairs_confirmed=sum(record_confirmed(record)
+                                for record in circuit_records),
             mean_fidelity=mean(fidelities) if fidelities else None,
             mean_shaping_delay=mean(shaping) if shaping else 0.0,
         ))

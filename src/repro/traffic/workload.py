@@ -35,7 +35,8 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from functools import partial
+from typing import Callable, Optional, Sequence
 
 import networkx as nx
 
@@ -60,7 +61,17 @@ from .arrivals import (
     stream_seed,
 )
 from .faults import FaultEvent, fault_schedule
-from .metrics import RecoveryStats, TrafficReport, build_report, record_handles
+from .metrics import (
+    RecoveryStats,
+    RetiredSummary,
+    TrafficReport,
+    build_report,
+    record_handles,
+)
+
+#: Request states a session cannot leave (retirement eligibility).
+_TERMINAL = (RequestStatus.COMPLETED, RequestStatus.REJECTED,
+             RequestStatus.ABORTED)
 
 
 @dataclass
@@ -103,6 +114,10 @@ class SessionRecord:
     outcome: str = ""
     #: Handles of earlier incarnations (before circuit recovery).
     prior_handles: list = field(default_factory=list)
+    #: Set by session retirement: the record's telemetry folded into a
+    #: slim aggregate, after which ``handle``/``prior_handles`` are
+    #: dropped (reports read the summary instead — same numbers).
+    summary: Optional[RetiredSummary] = None
 
 
 class TrafficEngine:
@@ -121,7 +136,11 @@ class TrafficEngine:
                  apps: Optional[Sequence[str]] = None,
                  metrics_out: Optional[str] = None,
                  snapshot_interval_s: float = 0.5,
-                 trace_out: Optional[str] = None):
+                 trace_out: Optional[str] = None,
+                 checkpoint_out: Optional[str] = None,
+                 checkpoint_interval_s: float = 1.0,
+                 retire_sessions: bool = False,
+                 retire_interval_s: float = 1.0):
         """``metric`` picks the routing metric for every circuit;
         ``fail_links``/``mtbf_s``/``mttr_s`` configure the outage model of
         :func:`repro.traffic.faults.fault_schedule`;
@@ -136,7 +155,19 @@ class TrafficEngine:
         simulated seconds (:class:`repro.obs.SnapshotEmitter`);
         ``trace_out`` attaches a causal :class:`repro.obs.SpanTracer`
         (unless the network already carries one) and writes the span
-        tree there after the run."""
+        tree there after the run.
+
+        Durability: ``checkpoint_out`` makes the engine write a full
+        simulation checkpoint (:mod:`repro.persist`) to that path every
+        ``checkpoint_interval_s`` simulated seconds — atomically, so a
+        killed run can resume from the last durable checkpoint via
+        :func:`repro.persist.load_checkpoint` + :meth:`resume_run`.
+        ``retire_sessions`` bounds the engine's memory on long
+        horizons: finished sessions are folded into slim
+        :class:`~repro.traffic.metrics.RetiredSummary` aggregates every
+        ``retire_interval_s`` simulated seconds and their handle graphs
+        (delivery and matched-pair lists) freed, without changing any
+        reported number."""
         if circuits < 1:
             raise ValueError("need at least one circuit")
         if load <= 0:
@@ -163,6 +194,10 @@ class TrafficEngine:
                 get_app(app)  # raises a vocabulary-naming ValueError
         if snapshot_interval_s <= 0:
             raise ValueError("snapshot_interval_s must be positive")
+        if checkpoint_interval_s <= 0:
+            raise ValueError("checkpoint_interval_s must be positive")
+        if retire_interval_s <= 0:
+            raise ValueError("retire_interval_s must be positive")
         self.net = net
         self.num_circuits = circuits
         self.load = load
@@ -185,6 +220,17 @@ class TrafficEngine:
         self.metrics_out = metrics_out
         self.snapshot_interval_s = snapshot_interval_s
         self.trace_out = trace_out
+        self.checkpoint_out = checkpoint_out
+        self.checkpoint_interval_s = checkpoint_interval_s
+        self.retire_sessions = retire_sessions
+        self.retire_interval_s = retire_interval_s
+        #: Checkpoints written so far (this process; resets on resume).
+        self.checkpoints_written = 0
+        #: Sessions folded into summaries by ``retire_sessions``.
+        self.sessions_retired = 0
+        #: Test hook, called as ``on_checkpoint(engine, sim_now_ns)``
+        #: after each durable write; dropped from checkpoints.
+        self.on_checkpoint: Optional[Callable] = None
         #: The run's snapshot emitter (None without ``metrics_out``).
         self.emitter: Optional[SnapshotEmitter] = None
         # Session counters are pushed at the same points the session
@@ -201,13 +247,12 @@ class TrafficEngine:
         }
         self._c_pairs = obs.counter("traffic.pairs_confirmed")
         self._h_latency = obs.histogram("traffic.pair_latency_ms")
-        obs.gauge("traffic.sessions_active", source=lambda: sum(
-            1 for record in self.records
-            if record.handle.status in (RequestStatus.ACTIVE,
-                                        RequestStatus.QUEUED)))
-        obs.counter("traffic.sessions_completed", source=lambda: sum(
-            1 for record in self.records
-            if record.handle.status == RequestStatus.COMPLETED))
+        # Bound methods (not lambdas): the registry rides along in engine
+        # checkpoints, and both sources stay correct for retired records.
+        obs.gauge("traffic.sessions_active",
+                  source=self._src_sessions_active)
+        obs.counter("traffic.sessions_completed",
+                    source=self._src_sessions_completed)
         #: Circuit index → live app service instance (populated on install).
         self._app_services: dict[int, object] = {}
         self._app_outcomes = None
@@ -223,9 +268,49 @@ class TrafficEngine:
         self._recovery_times_ns: list[float] = []
         self._by_circuit_id: dict[str, TrafficCircuit] = {}
         self._ran = False
+        # Run-phase state: every wait happens inside a phase-tagged
+        # simulator run with *absolute* resume points, so a checkpoint
+        # taken mid-phase can re-enter exactly where it left off.
+        self._phase: Optional[str] = None
+        self._start_ns = 0.0
+        self._horizon_ns = 0.0
+        self._drain_s = 0.0
+        self._drain_handles: list[RequestHandle] = []
+        self._drain_deadline_ns = 0.0
+        self._ckpt_handle = None
+        self._retire_handle = None
+        # Indices of records not yet retired, and those seen terminal on
+        # the previous sweep (retirement is two-phase: a session must
+        # stay terminal for a full interval so late tail-delivery
+        # matches have landed before its telemetry is frozen).
+        self._retire_pending: list[int] = []
+        self._retire_ready: set[int] = set()
         # Endpoint stream (-1) is disjoint from the per-circuit arrival
         # streams (indices >= 0) and the fault stream (-2).
         self._rng = random.Random(stream_seed(self.seed, -1))
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["on_checkpoint"] = None
+        return state
+
+    def _src_sessions_active(self) -> int:
+        """Gauge source: sessions currently ACTIVE or QUEUED."""
+        return sum(1 for record in self.records
+                   if record.summary is None
+                   and record.handle.status in (RequestStatus.ACTIVE,
+                                                RequestStatus.QUEUED))
+
+    def _src_sessions_completed(self) -> int:
+        """Counter source: sessions that reached COMPLETED."""
+        count = 0
+        for record in self.records:
+            if record.summary is not None:
+                if record.summary.status == RequestStatus.COMPLETED:
+                    count += 1
+            elif record.handle.status == RequestStatus.COMPLETED:
+                count += 1
+        return count
 
     # ------------------------------------------------------------------
     # Circuit installation
@@ -398,12 +483,34 @@ class TrafficEngine:
                 "this engine already ran (its circuits are torn down); "
                 "build a fresh TrafficEngine on a fresh network")
         self._ran = True
+        self._begin_run(horizon_s, drain_s)
+        return self._run_phases()
+
+    def resume_run(self) -> TrafficReport:
+        """Continue a checkpointed run to completion.
+
+        The counterpart of :func:`repro.persist.load_checkpoint`: the
+        restored engine re-enters the phase (horizon or drain) it was
+        checkpointed in — all waiting happens against absolute simulated
+        deadlines saved with the engine, so the continued run processes
+        exactly the events an uninterrupted run would have.
+        """
+        if self._phase is None:
+            raise RuntimeError("engine never ran — call run() instead")
+        if self._phase == "done":
+            raise RuntimeError("this run already finished; nothing to resume")
+        return self._run_phases()
+
+    def _begin_run(self, horizon_s: float, drain_s: Optional[float]) -> None:
+        """Install circuits and arm everything the run needs (phase 0)."""
         if self.trace_out is not None and self.net.tracer is None:
             attach_tracer(self.net)
         self.install()
         sim = self.net.sim
-        start_ns = sim.now
-        horizon_ns = horizon_s * S
+        self._phase = "horizon"
+        self._start_ns = sim.now
+        self._horizon_ns = horizon_s * S
+        self._drain_s = horizon_s if drain_s is None else drain_s
         if self.metrics_out is not None:
             self.emitter = SnapshotEmitter(
                 sim, self.net.obs, self.metrics_out,
@@ -413,22 +520,55 @@ class TrafficEngine:
                       "horizon_s": horizon_s})
             self.emitter.start()
         if self.fail_links > 0:
-            self._arm_faults(start_ns, horizon_ns)
+            self._arm_faults(self._start_ns, self._horizon_ns)
         schedule = poisson_schedule(
-            len(self.circuits), horizon_ns,
+            len(self.circuits), self._horizon_ns,
             [self._mean_interarrival_ns(circuit) for circuit in self.circuits],
             classes=self.classes, seed=self.seed,
             max_sessions=self.max_sessions)
         for spec in schedule:
-            sim.schedule_at(start_ns + spec.arrival_ns, self._submit, spec)
-        self.net.run(until_s=(start_ns + horizon_ns) / S)
-        drain = horizon_s if drain_s is None else drain_s
-        outstanding = [record.handle for record in self.records
-                       if record.handle.status in (RequestStatus.ACTIVE,
-                                                   RequestStatus.QUEUED)]
-        if drain > 0 and outstanding:
-            self.net.run_until_complete(outstanding, timeout_s=drain)
-        elapsed_ns = sim.now - start_ns
+            sim.schedule_at(self._start_ns + spec.arrival_ns,
+                            self._submit, spec)
+        if self.retire_sessions:
+            self._arm_retire()
+        if self.checkpoint_out is not None:
+            self._arm_checkpoint()
+
+    def _run_phases(self) -> TrafficReport:
+        """Drive the run through its remaining phases (idempotent entry).
+
+        Fresh runs enter with phase ``horizon``; resumed runs enter with
+        whatever phase the checkpoint was taken in.  Completed phases are
+        skipped — the simulator clock is never run backwards.
+        """
+        sim = self.net.sim
+        if self._phase == "horizon":
+            self.net.run(until_s=(self._start_ns + self._horizon_ns) / S)
+            self._drain_handles = [
+                record.handle for record in self.records
+                if record.summary is None
+                and record.handle.status in (RequestStatus.ACTIVE,
+                                             RequestStatus.QUEUED)]
+            self._drain_deadline_ns = sim.now + self._drain_s * S
+            self._phase = "drain"
+        if self._phase == "drain":
+            if self._drain_s > 0 and self._drain_handles:
+                self.net.run_until_complete(
+                    self._drain_handles,
+                    deadline_s=self._drain_deadline_ns / S)
+            self._phase = "finish"
+        return self._finish_run()
+
+    def _finish_run(self) -> TrafficReport:
+        """Tear down, finalise observability, and build the report."""
+        sim = self.net.sim
+        if self._ckpt_handle is not None:
+            self._ckpt_handle.cancel()
+            self._ckpt_handle = None
+        if self._retire_handle is not None:
+            self._retire_handle.cancel()
+            self._retire_handle = None
+        elapsed_ns = sim.now - self._start_ns
         self._elapsed_ns = elapsed_ns
         for circuit in self.circuits:
             self.net.teardown_circuit(circuit.circuit_id)
@@ -443,13 +583,98 @@ class TrafficEngine:
             self.net.tracer.write_jsonl(self.trace_out)
         if self.emitter is not None:
             self.emitter.finalise()
+        self._phase = "done"
         return build_report(self.net, self.circuits, self.records,
-                            horizon_ns=horizon_ns,
+                            horizon_ns=self._horizon_ns,
                             elapsed_ns=elapsed_ns,
                             classes=self.classes,
                             recovery=self._recovery_stats(),
                             apps=outcomes,
                             obs=self.net.obs)
+
+    # ------------------------------------------------------------------
+    # Durable checkpoints and session retirement
+    # ------------------------------------------------------------------
+
+    def _arm_checkpoint(self) -> None:
+        """Schedule the next periodic checkpoint write."""
+        self._ckpt_handle = self.net.sim.schedule(
+            self.checkpoint_interval_s * S, self._write_checkpoint)
+
+    def _write_checkpoint(self) -> None:
+        """Write one durable checkpoint (re-arming first, so the saved
+        event heap already carries the *next* checkpoint event — a
+        resumed run keeps checkpointing on the same interval grid)."""
+        from ..persist import save_checkpoint
+
+        self._arm_checkpoint()
+        save_checkpoint(self, self.checkpoint_out)
+        self.checkpoints_written += 1
+        if self.on_checkpoint is not None:
+            self.on_checkpoint(self, self.net.sim.now)
+
+    def _arm_retire(self) -> None:
+        """Schedule the next session-retirement sweep."""
+        self._retire_handle = self.net.sim.schedule(
+            self.retire_interval_s * S, self._retire_tick)
+
+    def _retire_tick(self) -> None:
+        self._arm_retire()
+        self._sweep_retirable()
+
+    def _sweep_retirable(self) -> None:
+        """Fold sessions terminal for a full interval into summaries.
+
+        Two-phase: a record seen retirable on sweep N is retired on
+        sweep N+1.  The interval between sightings dwarfs the classical
+        message delays, so any in-flight tail delivery whose match would
+        still extend the record's fidelity list has landed before the
+        telemetry is frozen — retirement cannot change a reported
+        number.
+        """
+        still: list[int] = []
+        ready = self._retire_ready
+        next_ready: set[int] = set()
+        for index in self._retire_pending:
+            record = self.records[index]
+            if self._retirable(record):
+                if index in ready:
+                    self._retire(record)
+                    continue
+                next_ready.add(index)
+            still.append(index)
+        self._retire_pending = still
+        self._retire_ready = next_ready
+
+    def _retirable(self, record: SessionRecord) -> bool:
+        """Terminal in every incarnation, with no PENDING deliveries."""
+        if record.handle.status not in _TERMINAL:
+            return False
+        return not any(delivery.status == DeliveryStatus.PENDING
+                       for handle in record_handles(record)
+                       for delivery in handle.delivered)
+
+    def _retire(self, record: SessionRecord) -> None:
+        """Replace a finished record's handle graph with an aggregate."""
+        handles = record_handles(record)
+        confirmed = sum(1 for handle in handles
+                        for delivery in handle.delivered
+                        if delivery.status == DeliveryStatus.CONFIRMED)
+        fidelities = tuple(
+            pair.fidelity for handle in handles
+            for pair in getattr(handle, "matched_pairs", [])
+            if pair.fidelity is not None)
+        record.summary = RetiredSummary(
+            status=record.handle.status,
+            pairs_confirmed=confirmed,
+            fidelities=fidelities,
+            t_submitted=record.handle.t_submitted,
+            t_started=record.handle.t_started)
+        for handle in handles:
+            self.net.discard_submission(handle)
+        record.handle = None
+        record.prior_handles = []
+        self.sessions_retired += 1
 
     # ------------------------------------------------------------------
     # Fault injection and circuit recovery
@@ -496,12 +721,13 @@ class TrafficEngine:
             return
         t_failed = self.net.sim.now
         inflight = [record for record in self.records
-                    if record.circuit_id == circuit_id
+                    if record.summary is None
+                    and record.circuit_id == circuit_id
                     and record.handle.status in (RequestStatus.ACTIVE,
                                                  RequestStatus.QUEUED)]
         new_id = self.net.recover_circuit(
             circuit_id,
-            on_ready=lambda cid: self._on_circuit_recovered(t_failed))
+            on_ready=partial(self._on_circuit_recovered, t_failed))
         if new_id is None:
             circuit.lost = True
             self.circuits_lost += 1
@@ -529,7 +755,8 @@ class TrafficEngine:
         for record in inflight:
             self._resubmit(record, circuit)
 
-    def _on_circuit_recovered(self, t_failed: float) -> None:
+    def _on_circuit_recovered(self, t_failed: float,
+                              circuit_id: str = "") -> None:
         """The replacement circuit's RESV arrived: recovery completed."""
         self.circuits_recovered += 1
         self._recovery_times_ns.append(self.net.sim.now - t_failed)
@@ -587,12 +814,14 @@ class TrafficEngine:
         expire).  The counter therefore matches the report's
         ``pairs_confirmed`` tally, which scans the same handles.
         """
-        def counted(delivery):
-            if delivery.status == DeliveryStatus.CONFIRMED:
-                self._c_pairs.inc()
-                self._h_latency.observe(
-                    (self.net.sim.now - handle.t_submitted) / 1e6)
-        handle.on_delivery(counted)
+        handle.on_delivery(partial(self._counted_delivery, handle))
+
+    def _counted_delivery(self, handle: RequestHandle, delivery) -> None:
+        """Delivery listener body (picklable: lives on the handle)."""
+        if delivery.status == DeliveryStatus.CONFIRMED:
+            self._c_pairs.inc()
+            self._h_latency.observe(
+                (self.net.sim.now - handle.t_submitted) / 1e6)
 
     def _consumer_for(self, circuit: TrafficCircuit):
         """The delivery fan-in hook of a circuit's app service (or None).
@@ -626,6 +855,7 @@ class TrafficEngine:
             self.records.append(SessionRecord(
                 spec=spec, circuit_id=circuit.circuit_id,
                 handle=handle, decision="lost", outcome="lost"))
+            self._retire_pending.append(len(self.records) - 1)
             return
         cls = spec.priority
         deadline_ns = None
@@ -649,6 +879,7 @@ class TrafficEngine:
         self.records.append(SessionRecord(
             spec=spec, circuit_id=circuit.circuit_id,
             handle=handle, decision=decision))
+        self._retire_pending.append(len(self.records) - 1)
 
 
 def run_traffic(net: Network, horizon_s: float = 5.0,

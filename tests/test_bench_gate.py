@@ -127,7 +127,7 @@ class TestSpeedupFloors:
         code = gate.main([str(fresh), "--check-speedups",
                           "--baseline", str(baseline)])
         assert code == 0
-        assert "throughput floors hold" in capsys.readouterr().out
+        assert "throughput and memory floors hold" in capsys.readouterr().out
 
 
 class TestThroughputFloors:
@@ -184,6 +184,56 @@ class TestThroughputFloors:
         payload = json.loads(gate.newest_baseline().read_text())
         assert gate.check_throughput(payload) == []
         assert gate.check_speedups(payload) == []
+        assert gate.check_rss(payload) == []
+
+
+class TestRssCeilings:
+    """The soak memory gate (also under `--check-speedups`).
+
+    The checkpoint/retirement PR's leak tripwire: the bell traffic_soak
+    scenario's peak RSS must stay under the ceiling, or session-state
+    growth (handle graphs that retirement should have freed) is creeping
+    back in.
+    """
+
+    def test_ceiling_covers_the_bell_soak(self):
+        assert gate.RSS_CEILINGS["traffic_soak_bell"] == 220_000
+
+    def test_rss_below_ceiling_passes(self):
+        payload = {"soak_max_rss_kb": {"traffic_soak_bell": 110_000}}
+        assert gate.check_rss(payload) == []
+
+    def test_rss_above_ceiling_fails(self):
+        payload = {"soak_max_rss_kb": {"traffic_soak_bell": 400_000}}
+        violations = gate.check_rss(payload)
+        assert len(violations) == 1
+        assert "traffic_soak_bell" in violations[0]
+        assert "400000" in violations[0]
+
+    def test_missing_section_is_skipped(self):
+        assert gate.check_rss({}) == []
+        assert gate.check_rss({"soak_max_rss_kb": {}}) == []
+        # dm has no ceiling; its presence alone must not fail anything.
+        assert gate.check_rss(
+            {"soak_max_rss_kb": {"traffic_soak_dm": 10 ** 9}}) == []
+
+    def test_custom_ceiling_applies(self):
+        payload = {"soak_max_rss_kb": {"traffic_soak_bell": 150_000}}
+        assert gate.check_rss(payload,
+                              ceilings={"traffic_soak_bell": 120_000})
+        assert not gate.check_rss(payload,
+                                  ceilings={"traffic_soak_bell": 200_000})
+
+    def test_cli_flag_enforces_the_ceiling(self, tmp_path, capsys):
+        baseline = gate.newest_baseline()
+        payload = json.loads(baseline.read_text())
+        payload["soak_max_rss_kb"] = {"traffic_soak_bell": 500_000}
+        fresh = tmp_path / "fresh.json"
+        fresh.write_text(json.dumps(payload))
+        code = gate.main([str(fresh), "--check-speedups",
+                          "--baseline", str(baseline)])
+        assert code == 1
+        assert "floors violated" in capsys.readouterr().out
 
 
 class TestBaselineSelection:

@@ -101,13 +101,23 @@ def test_traffic_recovery_flags_parsed():
 def _traffic_recovery_output(capsys, seed_args):
     import re
 
+    from repro.control import signalling
+    from repro.core import requests
+    from repro.quantum import qubit
+
+    # Circuit/request IDs draw from process-global counters; pin them so
+    # two in-process runs compare like two fresh CLI processes would.
+    # The regex alone is not enough: report column widths follow the ID
+    # string length, so a run whose IDs cross a digit boundary renders
+    # wider tables than its twin.
+    requests._request_ids.value = 0
+    signalling._circuit_ids.value = 0
+    qubit._qubit_ids.value = 0
     code = main(seed_args + ["traffic", "--topology", "ring", "--size", "5",
                              "--circuits", "2", "--horizon", "0.4",
                              "--fail-links", "1", "--formalism", "bell"])
     out = capsys.readouterr().out
     assert code == 0
-    # Circuit IDs draw from a process-global counter; normalise so two
-    # in-process runs compare like two fresh CLI processes would.
     return re.sub(r"vc\d+:", "vc_:", out)
 
 

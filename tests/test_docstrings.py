@@ -14,7 +14,7 @@ import pkgutil
 import pytest
 
 PACKAGES = ("repro.apps", "repro.campaign", "repro.control",
-            "repro.obs", "repro.traffic")
+            "repro.obs", "repro.persist", "repro.traffic")
 
 
 def _modules():
