@@ -11,6 +11,7 @@ from .stats import (
     Cdf,
     LatencySummary,
     P2Quantile,
+    ReservoirSample,
     mean,
     percentile,
     standard_error,
@@ -27,6 +28,7 @@ __all__ = [
     "attach_tracer",
     "Cdf",
     "P2Quantile",
+    "ReservoirSample",
     "LatencySummary",
     "mean",
     "percentile",

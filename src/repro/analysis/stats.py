@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import math
+import random
 from bisect import bisect_right, insort
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
@@ -162,6 +163,53 @@ class P2Quantile:
         if self.count <= 5:
             return percentile(self._heights, self.q * 100.0)
         return self._heights[2]
+
+
+class ReservoirSample:
+    """Bounded-memory uniform sample of an unbounded stream (Algorithm R).
+
+    Complements :class:`P2Quantile`: where P² tracks one pre-chosen
+    quantile in O(1), a reservoir keeps ``capacity`` samples drawn
+    uniformly (without replacement) from everything observed so far, so
+    *any* quantile — or the whole empirical distribution — can be
+    estimated after the fact from a soak run too long to keep in memory.
+    Vitter's Algorithm R: the first ``capacity`` observations fill the
+    reservoir; observation ``n`` then replaces a random slot with
+    probability ``capacity / n``.  Deterministic for a given ``seed``.
+    """
+
+    def __init__(self, capacity: int, seed: int = 0):
+        if capacity < 1:
+            raise ValueError("reservoir capacity must be at least 1")
+        self.capacity = capacity
+        self.count = 0
+        self._rng = random.Random(seed)
+        self._samples: list[float] = []
+
+    def observe(self, x: float) -> None:
+        """Fold one sample into the reservoir (O(1) time, O(capacity) memory)."""
+        self.count += 1
+        if len(self._samples) < self.capacity:
+            self._samples.append(float(x))
+            return
+        slot = self._rng.randrange(self.count)
+        if slot < self.capacity:
+            self._samples[slot] = float(x)
+
+    def samples(self) -> list[float]:
+        """The current reservoir contents (a copy, unsorted)."""
+        return list(self._samples)
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (q in (0, 1)) from the reservoir."""
+        if not 0.0 < q < 1.0:
+            raise ValueError("quantile probability must be in (0, 1)")
+        if not self._samples:
+            raise ValueError("ReservoirSample.quantile() before any observation")
+        return percentile(self._samples, q * 100.0)
+
+    def __len__(self) -> int:
+        return len(self._samples)
 
 
 def throughput(event_times: Sequence[float], window: tuple[float, float]) -> float:

@@ -137,7 +137,8 @@ def _cmd_traffic(args: argparse.Namespace) -> int:
         raise SystemExit("--mttr must be positive")
     apps = _parse_apps(args.apps)
     net = build_topology(args.topology, args.size, seed=args.seed,
-                         formalism=args.formalism)
+                         formalism=args.formalism,
+                         physical=getattr(args, "physical", "analytic"))
     print(f"topology {args.topology} size {args.size}: "
           f"{len(net.nodes)} nodes, {len(net.links)} links "
           f"({net.formalism} formalism)")
@@ -416,6 +417,11 @@ def build_parser() -> argparse.ArgumentParser:
     traffic.add_argument("--size", type=int, default=4,
                          help="family size parameter (grid side, ring"
                               " length, star arms, node count, tree height)")
+    traffic.add_argument("--physical", choices=["analytic", "midpoint"],
+                         default="analytic",
+                         help="physical-layer model per link: analytic"
+                              " fast-forward (default) or time-windowed"
+                              " midpoint heralding station")
     traffic.add_argument("--circuits", type=int, default=8,
                          help="number of concurrent virtual circuits")
     traffic.add_argument("--load", type=float, default=0.7,

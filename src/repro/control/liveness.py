@@ -17,9 +17,10 @@ from dataclasses import dataclass
 from typing import Callable, Optional
 
 from ..netsim.entity import Entity
+from ..netsim.ports import Component, connect
 from ..netsim.timers import PeriodicTimer
 from ..netsim.units import MS
-from ..network.node import QuantumNode
+from ..network.node import QuantumNode, service_protocol
 
 
 @dataclass
@@ -42,14 +43,20 @@ class Pong:
     index: int
 
 
-class LivenessAgent(Entity):
+class LivenessAgent(Entity, Component):
     """Per-node liveness protocol instance (message relay + endpoints)."""
 
     def __init__(self, node: QuantumNode):
         super().__init__(node.sim, name=f"{node.name}.liveness")
         self.node = node
-        node.register_handler("liveness", self._on_message)
+        connect(self.add_port("node", service_protocol("liveness"),
+                              handler=self._on_node_message),
+                node.service_port("liveness"))
         self._monitors: dict[str, "_CircuitMonitor"] = {}
+
+    def _on_node_message(self, message) -> None:
+        """Port handler: unpack the node's ``(sender, payload)`` tuple."""
+        self._on_message(*message)
 
     # ------------------------------------------------------------------
     # Head-end API

@@ -323,8 +323,10 @@ class CentralController:
         # links with the same hardware and fibre share the budget solution
         # — across controllers too (the module-level cache), since the
         # solve also folds in the controller's memory lifetimes and gate
-        # noise, which are part of the key.
-        key = (model.params, model.connection, num_links,
+        # noise, which are part of the key.  ``model.cache_key`` carries
+        # the model class and its knobs, so analytic and midpoint links
+        # over identical fibre never share a solve.
+        key = (model.cache_key, num_links,
                target_fidelity, cutoff_policy,
                self.memory_t1, self.memory_t2, self.ops)
         cached = _BUDGET_CACHE.get(key)
@@ -487,7 +489,7 @@ class CentralController:
         return max_lpr * p_match
 
     def _fidelity_ceiling(self, model: SingleClickModel) -> float:
-        key = (model.params, model.connection)
+        key = model.cache_key
         cached = _CEILING_CACHE.get(key)
         if cached is None:
             grid = np.geomspace(1e-3, 0.5, 200)

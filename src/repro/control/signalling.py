@@ -18,8 +18,9 @@ from typing import Callable, Optional
 
 from ..core.circuit import RoutingEntry
 from ..netsim.entity import Entity
+from ..netsim.ports import Component, connect
 from ..netsim.scheduler import SerialCounter
-from ..network.node import QuantumNode
+from ..network.node import QuantumNode, service_protocol
 
 _circuit_ids = SerialCounter()
 
@@ -57,14 +58,20 @@ class TearMessage:
     index: int = 0
 
 
-class SignallingAgent(Entity):
+class SignallingAgent(Entity, Component):
     """Per-node signalling protocol instance."""
 
     def __init__(self, node: QuantumNode):
         super().__init__(node.sim, name=f"{node.name}.signalling")
         self.node = node
-        node.register_handler("signalling", self._on_message)
+        connect(self.add_port("node", service_protocol("signalling"),
+                              handler=self._on_node_message),
+                node.service_port("signalling"))
         self._pending_ready: dict[str, Callable[[str], None]] = {}
+
+    def _on_node_message(self, message) -> None:
+        """Port handler: unpack the node's ``(sender, payload)`` tuple."""
+        self._on_message(*message)
 
     # ------------------------------------------------------------------
     # Head-end API

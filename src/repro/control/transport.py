@@ -11,37 +11,59 @@ guarantees over a :class:`~repro.netsim.channels.LossyChannel`.
 
 from __future__ import annotations
 
+import warnings
 from collections import deque
-from typing import Any, Callable, Optional
+from typing import Any, Callable
 
-from ..netsim.channels import ChannelEnd
+from ..netsim.channels import CLASSICAL, ChannelEnd
 from ..netsim.entity import Entity
+from ..netsim.ports import CallbackComponent, Component, connect
 from ..netsim.scheduler import Simulator
 from ..netsim.timers import Timer
 
+#: Protocol tag of the in-order delivery port a ReliableEnd exposes.
+TRANSPORT = "transport"
 
-class ReliableEnd(Entity):
-    """One endpoint of a reliable byte^W message stream (stop-and-wait ARQ)."""
+
+class ReliableEnd(Entity, Component):
+    """One endpoint of a reliable byte^W message stream (stop-and-wait ARQ).
+
+    Ports: ``raw`` (protocol ``"classical"``) faces the lossy channel;
+    ``rx`` (protocol :data:`TRANSPORT`) delivers de-duplicated, in-order
+    payloads to whatever the application connects there.
+    """
 
     def __init__(self, sim: Simulator, raw_end: ChannelEnd, rto: float,
                  name: str = ""):
         super().__init__(sim, name or "reliable-end")
         if rto <= 0:
             raise ValueError("retransmission timeout must be positive")
-        self.raw = raw_end
         self.rto = rto
-        self._receiver: Optional[Callable[[Any], None]] = None
+        self._raw_port = self.add_port("raw", CLASSICAL, handler=self._on_raw)
+        self._rx_port = self.add_port("rx", TRANSPORT)
         self._send_queue: deque[Any] = deque()
         self._next_send_seq = 0
         self._awaiting_ack = False
         self._expected_seq = 0
         self._retransmit = Timer(sim, self._on_timeout)
         self.retransmissions = 0
-        raw_end.connect(self._on_raw)
+        connect(self._raw_port, raw_end.port)
 
     def connect(self, receiver: Callable[[Any], None]) -> None:
-        """Register the callback invoked for every in-order delivery."""
-        self._receiver = receiver
+        """Deprecated: register the callback for every in-order delivery.
+
+        New code connects a component port to ``self.port("rx")``; this
+        shim wraps the callback, replacing any existing connection.
+        """
+        warnings.warn(
+            "ReliableEnd.connect() is deprecated; connect a component port "
+            "to ReliableEnd.port('rx') instead",
+            DeprecationWarning, stacklevel=2)
+        if self._rx_port.connected:
+            self._rx_port.disconnect()
+        adapter = CallbackComponent(receiver, TRANSPORT,
+                                    name=f"{self.name}.receiver")
+        connect(self._rx_port, adapter.io)
 
     def send(self, message: Any) -> None:
         """Queue a message for reliable, in-order transmission."""
@@ -58,7 +80,7 @@ class ReliableEnd(Entity):
 
     def _transmit(self) -> None:
         payload = self._send_queue[0]
-        self.raw.send(("DATA", self._next_send_seq, payload))
+        self._raw_port.tx(("DATA", self._next_send_seq, payload))
         self._retransmit.start(self.rto)
 
     def _on_timeout(self) -> None:
@@ -79,13 +101,13 @@ class ReliableEnd(Entity):
         # DATA frame: ack everything at or below the expected sequence.
         if seq == self._expected_seq:
             self._expected_seq += 1
-            self.raw.send(("ACK", seq, None))
-            if self._receiver is None:
-                raise RuntimeError(f"{self.name}: data arrived with no receiver")
-            self._receiver(payload)
+            self._raw_port.tx(("ACK", seq, None))
+            # tx() raises PortNotConnectedError (a RuntimeError) when no
+            # receiver is attached on the rx side.
+            self._rx_port.tx(payload)
         elif seq < self._expected_seq:
             # Duplicate (our ACK was lost): re-ack, do not deliver again.
-            self.raw.send(("ACK", seq, None))
+            self._raw_port.tx(("ACK", seq, None))
 
 
 def make_reliable_pair(sim: Simulator, channel, rto: float

@@ -23,7 +23,8 @@ from typing import Callable, Optional
 
 from ..linklayer.service import LinkPairDelivery
 from ..netsim.entity import Entity
-from ..network.node import QuantumNode
+from ..netsim.ports import Component, connect
+from ..network.node import QuantumNode, service_protocol
 from ..quantum.bell import BellIndex
 from .circuit import CircuitRole, RoutingEntry
 from .demux import SymmetricDemultiplexer
@@ -81,14 +82,16 @@ class CircuitRuntime:
         self.demux = SymmetricDemultiplexer(self.epochs)
 
 
-class QNPNode(Entity, EndNodeRules, IntermediateRules):
+class QNPNode(Entity, Component, EndNodeRules, IntermediateRules):
     """The QNP protocol machine at one quantum node."""
 
     def __init__(self, node: QuantumNode, blocking_tracking: bool = False):
         super().__init__(node.sim, name=f"{node.name}.qnp")
         self.node = node
         node.qnp = self
-        node.register_handler("qnp", self._on_message)
+        connect(self.add_port("node", service_protocol("qnp"),
+                              handler=self._on_node_message),
+                node.service_port("qnp"))
         #: Ablation knob: wait for TRACK messages before swapping
         #: (the QNP never does this — Sec 4.1 "lazy entanglement tracking").
         self.blocking_tracking = blocking_tracking
@@ -133,8 +136,16 @@ class QNPNode(Entity, EndNodeRules, IntermediateRules):
                 continue
             self._labels[(link_name, label)] = entry.circuit_id
             if link_name not in self._registered_links:
-                self.node.links[link_name].register_handler(
-                    self.node.name, self._on_link_pair)
+                # Take over the link's delivery port for this endpoint
+                # (disconnect-then-connect mirrors the overwrite
+                # semantics the old register_handler dict had).
+                delivery = self.node.links[link_name].delivery_port(
+                    self.node.name)
+                if delivery.connected:
+                    delivery.disconnect()
+                connect(delivery,
+                        self.add_port(f"link:{link_name}", "egp.delivery",
+                                      handler=self._on_link_pair))
                 self._registered_links.add(link_name)
 
     def uninstall_circuit(self, circuit_id: str) -> None:
@@ -401,6 +412,10 @@ class QNPNode(Entity, EndNodeRules, IntermediateRules):
         self._emit(type(message).__name__.upper(), to=neighbour,
                    circuit=entry.circuit_id)
         self.node.send(neighbour, "qnp", message)
+
+    def _on_node_message(self, message) -> None:
+        """Port handler: unpack the node's ``(sender, payload)`` tuple."""
+        self._on_message(*message)
 
     def _on_message(self, sender: str, message) -> None:
         runtime = self._circuits.get(message.circuit_id)

@@ -1,7 +1,16 @@
 """NV-centre hardware and fibre models (Appendix B / Tables 1–2)."""
 
 from .fibre import FibreSegment, HeraldedConnection
-from .heralded import MAX_ALPHA, MIN_ALPHA, LinkSample, SingleClickModel
+from .heralded import (
+    MAX_ALPHA,
+    MIN_ALPHA,
+    Herald,
+    LinkSample,
+    MidpointHeraldModel,
+    MidpointStation,
+    Photon,
+    SingleClickModel,
+)
 from .memory import apply_memory_noise, apply_pair_noise, stamp
 from .nv import NVDevice
 from .parameters import GateParams, HardwareParams, NEAR_TERM, SIMULATION
@@ -14,6 +23,10 @@ __all__ = [
     "FibreSegment",
     "HeraldedConnection",
     "SingleClickModel",
+    "MidpointHeraldModel",
+    "MidpointStation",
+    "Photon",
+    "Herald",
     "LinkSample",
     "MIN_ALPHA",
     "MAX_ALPHA",

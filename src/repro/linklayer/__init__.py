@@ -1,11 +1,13 @@
 """Link layer: the entanglement generation service of ref [19]."""
 
-from .egp import Link
+from .egp import DELIVERY, PHOTON, Link
 from .scheduler import FairShareScheduler
 from .service import EntanglementId, LinkPairDelivery, LinkRequestState
 
 __all__ = [
     "Link",
+    "DELIVERY",
+    "PHOTON",
     "FairShareScheduler",
     "LinkPairDelivery",
     "LinkRequestState",

@@ -61,6 +61,7 @@ admissible — this one is fixed and documented.)
 from __future__ import annotations
 
 import math
+import warnings
 from functools import partial
 from typing import Callable, Optional
 
@@ -68,6 +69,7 @@ import numpy as np
 
 from ..hardware.heralded import SingleClickModel
 from ..netsim.entity import Entity
+from ..netsim.ports import CallbackComponent, Component, Port, connect
 from ..netsim.scheduler import SerialCounter, Simulator
 from ..network.arbiter import acquire_ordered, release_all
 from ..network.node import QuantumNode
@@ -78,6 +80,12 @@ from .scheduler import FairShareScheduler
 from .service import LinkPairDelivery, LinkRequestState
 
 DeliveryHandler = Callable[[LinkPairDelivery], None]
+
+#: Protocol tag of the link layer's pair-delivery ports (link → network
+#: layer, one port per endpoint node).
+DELIVERY = "egp.delivery"
+#: Protocol tag of the midpoint-station photon/herald ports.
+PHOTON = "photon"
 
 #: Uniforms per refill of the per-link RNG buffer (one numpy call each).
 _RNG_BLOCK = 256
@@ -101,8 +109,15 @@ class _Chain:
         self.event = event
 
 
-class Link(Entity):
-    """A physical link plus its link layer protocol instance."""
+class Link(Entity, Component):
+    """A physical link plus its link layer protocol instance.
+
+    Ports: one ``deliver:<node>`` port per endpoint (protocol
+    :data:`DELIVERY`) over which heralded pairs reach the network layer,
+    and — when a :class:`~repro.hardware.heralded.MidpointStation` is
+    attached — ``midpoint:a``/``midpoint:b`` ports (protocol
+    :data:`PHOTON`) over which the station reports heralds.
+    """
 
     def __init__(self, sim: Simulator, name: str, node_a: QuantumNode,
                  node_b: QuantumNode, model: SingleClickModel,
@@ -122,7 +137,14 @@ class Link(Entity):
         self._cycle_time = model.cycle_time
         self._device_a = node_a.device
         self._device_b = node_b.device
-        self._handlers: dict[str, DeliveryHandler] = {}
+        #: Delivery ports by endpoint node name (network layer connects).
+        self._delivery_ports: dict[str, Port] = {
+            node.name: self.add_port(f"deliver:{node.name}", DELIVERY)
+            for node in (node_a, node_b)}
+        #: Optional midpoint heralding station (see :meth:`attach_station`).
+        self.station = None
+        #: Most recent herald reported by the attached station.
+        self.last_herald = None
         self._requests: dict[str, LinkRequestState] = {}
         self._pending_endorsements: dict[str, set] = {}
         #: Scheduling hints: purposes that a neighbouring network layer
@@ -184,11 +206,51 @@ class Link(Entity):
     # Service interface (network layer → link layer)
     # ------------------------------------------------------------------
 
+    def delivery_port(self, node_name: str) -> Port:
+        """The pair-delivery port serving one endpoint's network layer."""
+        try:
+            return self._delivery_ports[node_name]
+        except KeyError:
+            raise ValueError(
+                f"{node_name} is not an endpoint of {self.name}") from None
+
     def register_handler(self, node_name: str, handler: DeliveryHandler) -> None:
-        """Register the network layer's pair receiver at one end."""
-        if node_name not in (self.node_a.name, self.node_b.name):
-            raise ValueError(f"{node_name} is not an endpoint of {self.name}")
-        self._handlers[node_name] = handler
+        """Deprecated: register the network layer's pair receiver at one end.
+
+        New code connects a component port to :meth:`delivery_port`; this
+        shim wraps the bare callback in a
+        :class:`~repro.netsim.ports.CallbackComponent`, replacing any
+        existing connection (the historical overwrite semantics).
+        """
+        warnings.warn(
+            "Link.register_handler() is deprecated; connect a component "
+            "port to Link.delivery_port(node_name) instead",
+            DeprecationWarning, stacklevel=2)
+        port = self.delivery_port(node_name)
+        if port.connected:
+            port.disconnect()
+        adapter = CallbackComponent(handler, DELIVERY,
+                                    name=f"{self.name}.handler:{node_name}")
+        connect(port, adapter.io)
+
+    def attach_station(self, station) -> None:
+        """Wire a midpoint heralding station to this link.
+
+        Connects the station's ``a``/``b`` photon ports to fresh
+        ``midpoint:a``/``midpoint:b`` ports here, so heralds the station
+        reports flow over the component graph; the analytic fast-forward
+        then accounts each delivered pair as one heralded window on the
+        station (see :meth:`_deliver_pair`).
+        """
+        self.station = station
+        connect(self.add_port("midpoint:a", PHOTON, handler=self._on_herald),
+                station.port("a"))
+        connect(self.add_port("midpoint:b", PHOTON, handler=self._on_herald),
+                station.port("b"))
+
+    def _on_herald(self, herald) -> None:
+        """Record the station's latest herald outcome (both sides hear it)."""
+        self.last_herald = herald
 
     def set_request(self, purpose_id: str, min_fidelity: float, lpr: float,
                     endorser: Optional[str] = None) -> None:
@@ -693,13 +755,16 @@ class Link(Entity):
             self.trace.record(t_create, self.name, "EGP_PAIR",
                               purpose=request.purpose_id,
                               correlator=correlator)
-        handlers = self._handlers
+        if self.station is not None:
+            # The analytic fast-forward skips the photon-level events, so
+            # account the herald on the station directly: one successful
+            # single-click window per delivered pair.  No RNG is drawn.
+            self.station.record_herald(bell_index)
+        ports = self._delivery_ports
         for node, qubit in ((self.node_a, qubit_a), (self.node_b, qubit_b)):
-            handler = handlers.get(node.name)
-            if handler is None:
-                raise RuntimeError(
-                    f"{self.name}: no delivery handler registered at {node.name}")
-            handler(LinkPairDelivery(
+            # tx() raises PortNotConnectedError (a RuntimeError naming the
+            # link and endpoint) when no network layer is attached.
+            ports[node.name].tx(LinkPairDelivery(
                 link_name=self.name,
                 purpose_id=request.purpose_id,
                 entanglement_id=correlator,

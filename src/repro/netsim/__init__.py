@@ -4,13 +4,26 @@ Public API:
 
 * :class:`Simulator` — the event loop,
 * :class:`Entity` — base class for protocol machines and hardware models,
+* :class:`Component` / :class:`Port` / :func:`connect` — the typed port
+  graph every wired entity exchanges messages over,
 * :class:`Timer` / :class:`PeriodicTimer` — cancellable timers,
 * :class:`ClassicalChannel` / :class:`LossyChannel` — classical links,
 * time constants (``NS``, ``US``, ``MS``, ``S``) and fibre helpers.
 """
 
-from .channels import ChannelEnd, ClassicalChannel, LossyChannel
+from .channels import CLASSICAL, ChannelEnd, ClassicalChannel, LossyChannel
 from .entity import Entity
+from .ports import (
+    CallbackComponent,
+    Component,
+    Port,
+    PortAlreadyConnectedError,
+    PortError,
+    PortNotConnectedError,
+    ProtocolMismatchError,
+    connect,
+    subscribe,
+)
 from .scheduler import EventHandle, Simulator
 from .timers import PeriodicTimer, Timer
 from .units import (
@@ -31,11 +44,21 @@ __all__ = [
     "Simulator",
     "EventHandle",
     "Entity",
+    "Port",
+    "Component",
+    "CallbackComponent",
+    "connect",
+    "subscribe",
+    "PortError",
+    "ProtocolMismatchError",
+    "PortAlreadyConnectedError",
+    "PortNotConnectedError",
     "Timer",
     "PeriodicTimer",
     "ClassicalChannel",
     "LossyChannel",
     "ChannelEnd",
+    "CLASSICAL",
     "NS",
     "US",
     "MS",

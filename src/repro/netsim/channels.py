@@ -10,41 +10,73 @@ Delivery order: for a fixed per-message delay the FIFO tie-break of the event
 queue preserves ordering.  When the processing delay is changed mid-run the
 channel still enforces in-order delivery by never letting a message overtake
 an earlier one (like a TCP stream would).
+
+Wiring: a channel is a :class:`~repro.netsim.ports.Component` with two
+ports, ``"a"`` and ``"b"`` (protocol :data:`CLASSICAL`).  A message
+received on one port is delivered out of the opposite port after the
+channel delay.  The pre-port :class:`ChannelEnd` objects survive as a
+deprecated compatibility surface (``ends[i].send`` / ``ends[i].connect``)
+that routes through the same ports.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional
+import warnings
+from typing import Any, Callable
 
 from .entity import Entity
+from .ports import CallbackComponent, Component, connect
 from .scheduler import Simulator
 from .units import fibre_delay
 
+#: Protocol tag spoken by classical-channel ports and the node ports that
+#: attach to them.
+CLASSICAL = "classical"
+
 
 class ChannelEnd:
-    """One endpoint of a bidirectional classical channel."""
+    """Deprecated endpoint handle of a classical channel.
+
+    Kept for one release so external scripts that wired receivers with
+    ``channel.ends[i].connect(cb)`` keep working; new code connects to
+    ``channel.port("a")`` / ``channel.port("b")`` instead.
+    """
 
     def __init__(self, channel: "ClassicalChannel", index: int):
         self._channel = channel
         self._index = index
-        self._receiver: Optional[Callable[[Any], None]] = None
+
+    @property
+    def port(self):
+        """The channel port this end corresponds to."""
+        return self._channel.port("a" if self._index == 0 else "b")
 
     def connect(self, receiver: Callable[[Any], None]) -> None:
-        """Register the callback invoked for every delivered message."""
-        self._receiver = receiver
+        """Deprecated: register a receiver callback for this end.
+
+        Routes through the port graph: the callback is wrapped in a
+        :class:`~repro.netsim.ports.CallbackComponent` and connected to
+        the channel port, replacing any existing connection (the
+        historical overwrite semantics).
+        """
+        warnings.warn(
+            "ChannelEnd.connect() is deprecated; connect a component port "
+            "to ClassicalChannel.port('a'/'b') instead",
+            DeprecationWarning, stacklevel=2)
+        port = self.port
+        if port.connected:
+            port.disconnect()
+        adapter = CallbackComponent(
+            receiver, CLASSICAL,
+            name=f"{self._channel.name}.receiver[{self._index}]")
+        connect(port, adapter.io)
 
     def send(self, message: Any) -> None:
         """Send ``message`` to the opposite endpoint."""
         self._channel._transmit(self._index, message)
 
-    def _deliver(self, message: Any) -> None:
-        if self._receiver is None:
-            raise RuntimeError(
-                f"channel {self._channel.name!r} end {self._index} has no receiver")
-        self._receiver(message)
 
-
-class ClassicalChannel(Entity):
+class ClassicalChannel(Entity, Component):
     """Reliable, in-order, bidirectional classical channel.
 
     Parameters
@@ -66,6 +98,8 @@ class ClassicalChannel(Entity):
         super().__init__(sim, name or f"cchannel({length_km}km)")
         self.length_km = length_km
         self.processing_delay = processing_delay
+        self.add_port("a", CLASSICAL, handler=self._rx_a)
+        self.add_port("b", CLASSICAL, handler=self._rx_b)
         self.ends = (ChannelEnd(self, 0), ChannelEnd(self, 1))
         # Earliest allowed delivery time per direction, to preserve FIFO
         # ordering when the processing delay shrinks mid-run.
@@ -93,6 +127,14 @@ class ClassicalChannel(Entity):
         """Repair a cut channel."""
         self.is_cut = False
 
+    def _rx_a(self, message: Any) -> None:
+        """Port ``a`` inbound handler: transmit towards side b."""
+        self._transmit(0, message)
+
+    def _rx_b(self, message: Any) -> None:
+        """Port ``b`` inbound handler: transmit towards side a."""
+        self._transmit(1, message)
+
     def _transmit(self, from_index: int, message: Any) -> None:
         if self.is_cut:
             return
@@ -104,7 +146,14 @@ class ClassicalChannel(Entity):
         self.messages_sent += 1
         # Deliveries are never cancelled, so use the pooled no-handle path
         # (one recycled EventHandle instead of an allocation per message).
-        self.sim.post_at(deliver_at, self.ends[to_index]._deliver, message)
+        self.sim.post_at(deliver_at, self._deliver_to, to_index, message)
+
+    def _deliver_to(self, index: int, message: Any) -> None:
+        """Hand a message to whatever is connected on side ``index``."""
+        # tx() raises PortNotConnectedError (a RuntimeError) when nothing
+        # is attached — the same failure mode the receiver-less legacy
+        # channel had.
+        self.port("a" if index == 0 else "b").tx(message)
 
 
 class LossyChannel(ClassicalChannel):

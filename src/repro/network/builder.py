@@ -34,10 +34,15 @@ from ..core.requests import (
     UserRequest,
 )
 from ..hardware.fibre import HeraldedConnection
-from ..hardware.heralded import SingleClickModel
+from ..hardware.heralded import (
+    MidpointHeraldModel,
+    MidpointStation,
+    SingleClickModel,
+)
 from ..hardware.parameters import HardwareParams, NEAR_TERM, SIMULATION
 from ..linklayer.egp import Link
 from ..netsim.channels import ClassicalChannel
+from ..netsim.ports import connect as connect_ports
 from ..netsim.scheduler import Simulator
 from ..obs.registry import MetricsRegistry
 from ..netsim.units import (
@@ -76,21 +81,37 @@ class _Submission:
     _pending: dict = field(default_factory=dict)
 
 
+#: Physical-layer models the builder can wire per link: the analytic
+#: fast-forward (the paper's model, byte-identical default) or the
+#: time-windowed midpoint heralding station.
+PHYSICAL_MODELS = ("analytic", "midpoint")
+
+
 class Network:
     """A fully wired quantum network plus control plane.
 
     ``formalism`` selects the quantum-state backend every node and link run
     on: ``"dm"`` (exact density matrices) or ``"bell"`` (fast Bell-diagonal
-    weights) — see :mod:`repro.quantum.backends`.
+    weights) — see :mod:`repro.quantum.backends`.  ``physical`` selects
+    the default physical-layer model for new links (see
+    :data:`PHYSICAL_MODELS`; overridable per link in :meth:`connect`).
     """
 
     def __init__(self, sim: Simulator, params: HardwareParams,
-                 formalism: str | Backend = "dm"):
+                 formalism: str | Backend = "dm",
+                 physical: str = "analytic"):
+        if physical not in PHYSICAL_MODELS:
+            raise ValueError(
+                f"unknown physical model {physical!r} "
+                f"(have: {', '.join(PHYSICAL_MODELS)})")
         self.sim = sim
         self.params = params
         self.backend = get_backend(formalism)
+        self.physical = physical
         self.nodes: dict[str, QuantumNode] = {}
         self.links: dict[frozenset, Link] = {}
+        #: Midpoint heralding stations by edge (``physical="midpoint"``).
+        self.stations: dict[frozenset, MidpointStation] = {}
         self.channels: list[ClassicalChannel] = []
         self._channel_by_edge: dict[frozenset, ClassicalChannel] = {}
         self.qnps: dict[str, QNPNode] = {}
@@ -225,19 +246,39 @@ class Network:
 
     def connect(self, name_a: str, name_b: str, length_km: float,
                 attenuation: float = LAB_WAVELENGTH_ATTENUATION_DB_PER_KM,
-                slice_attempts: int = 100) -> Link:
+                slice_attempts: int = 100,
+                physical: Optional[str] = None) -> Link:
+        """Wire a heralded quantum link plus a classical channel.
+
+        ``physical`` overrides the network-wide physical-layer model for
+        this link (see :data:`PHYSICAL_MODELS`).
+        """
+        physical = self.physical if physical is None else physical
+        if physical not in PHYSICAL_MODELS:
+            raise ValueError(
+                f"unknown physical model {physical!r} "
+                f"(have: {', '.join(PHYSICAL_MODELS)})")
         node_a, node_b = self.nodes[name_a], self.nodes[name_b]
         connection = HeraldedConnection.symmetric(length_km, attenuation)
-        model = SingleClickModel(self.params, connection)
+        if physical == "midpoint":
+            model = MidpointHeraldModel(self.params, connection)
+        else:
+            model = SingleClickModel(self.params, connection)
         link = Link(self.sim, f"{name_a}~{name_b}", node_a, node_b, model,
                     slice_attempts, backend=self.backend)
         link.chain_hist = self.obs.histogram("egp.chain_slices")
         node_a.attach_link(link, name_b)
         node_b.attach_link(link, name_a)
+        if physical == "midpoint":
+            station = MidpointStation(
+                self.sim, name=f"mid:{name_a}~{name_b}",
+                coincidence_window=model.coincidence_window)
+            link.attach_station(station)
+            self.stations[frozenset((name_a, name_b))] = station
         channel = ClassicalChannel(self.sim, length_km,
                                    name=f"c:{name_a}~{name_b}")
-        node_a.attach_channel(name_b, channel.ends[0])
-        node_b.attach_channel(name_a, channel.ends[1])
+        connect_ports(node_a.classical_port(name_b), channel.port("a"))
+        connect_ports(node_b.classical_port(name_a), channel.port("b"))
         self.channels.append(channel)
         self.links[frozenset((name_a, name_b))] = link
         self._channel_by_edge[frozenset((name_a, name_b))] = channel
@@ -669,7 +710,8 @@ def build_network_from_graph(graph: nx.Graph, length_km: float = 0.002,
                              seed: int = 0, slice_attempts: int = 100,
                              formalism: str | Backend = "dm",
                              attenuation: float =
-                             LAB_WAVELENGTH_ATTENUATION_DB_PER_KM) -> Network:
+                             LAB_WAVELENGTH_ATTENUATION_DB_PER_KM,
+                             physical: str = "analytic") -> Network:
     """Wire an arbitrary connected graph into a full :class:`Network`.
 
     The generic entry point behind the topology catalogue
@@ -686,7 +728,8 @@ def build_network_from_graph(graph: nx.Graph, length_km: float = 0.002,
     names = {node: str(node) for node in graph.nodes}
     if len(set(names.values())) != len(names):
         raise ValueError("node names collide after str() conversion")
-    net = Network(Simulator(seed=seed), params, formalism=formalism)
+    net = Network(Simulator(seed=seed), params, formalism=formalism,
+                  physical=physical)
     for node in sorted(graph.nodes, key=str):
         net.add_node(names[node])
     for edge_a, edge_b in sorted(graph.edges,

@@ -4,24 +4,44 @@ Mirrors Fig 4 of the paper: each node owns a quantum device, a quantum
 memory management unit, a task scheduler (device arbiter), classical
 channels to its neighbours, and the network stack (link layer endpoints and
 the QNP engine) that gets attached by the topology builder.
+
+Wiring (the component-and-port layer, see :mod:`repro.netsim.ports`):
+
+* one ``cl:<neighbour>`` port per neighbour (protocol ``"classical"``),
+  connected by the builder to the classical channel towards that
+  neighbour; inbound messages are ``(kind, sender, payload)`` tuples;
+* one ``svc:<kind>`` port per message kind (protocol ``"svc:<kind>"``),
+  connected by the protocol agent that serves the kind (QNP engine,
+  signalling, liveness); the node demultiplexes inbound classical
+  messages onto these ports as ``(sender, payload)``.
+
+The pre-port ``register_handler``/``attach_channel`` methods survive as
+deprecated shims that route through the same ports.
 """
 
 from __future__ import annotations
 
+import warnings
 from functools import partial
 from typing import Any, Callable, Optional
 
 from ..hardware.nv import NVDevice
 from ..hardware.parameters import HardwareParams
-from ..netsim.channels import ChannelEnd
+from ..netsim.channels import CLASSICAL, ChannelEnd
 from ..netsim.entity import Entity
+from ..netsim.ports import CallbackComponent, Component, Port, _Unpack, connect
 from ..netsim.scheduler import Simulator
 from ..quantum.backends import Backend, get_backend
 from .arbiter import DeviceArbiter
 from .qmm import QuantumMemoryManager
 
 
-class QuantumNode(Entity):
+def service_protocol(kind: str) -> str:
+    """Protocol tag of a node service port for a message kind."""
+    return f"svc:{kind}"
+
+
+class QuantumNode(Entity, Component):
     """One node of the quantum network."""
 
     def __init__(self, sim: Simulator, name: str, params: HardwareParams,
@@ -39,14 +59,14 @@ class QuantumNode(Entity):
             self.qmm.configure_storage(params.storage_qubits)
         #: Link-layer endpoints by link name (set by the builder).
         self.links: dict[str, Any] = {}
-        #: Classical channel ends by neighbour node name.
-        self._channels: dict[str, ChannelEnd] = {}
+        #: Classical ports by neighbour node name.
+        self._classical: dict[str, Port] = {}
+        #: Service ports by message kind (demux table for ``_on_message``).
+        self._services: dict[str, Port] = {}
         #: Neighbour name per link name.
         self.link_neighbour: dict[str, str] = {}
         #: The QNP engine (attached by the builder).
         self.qnp: Optional[Any] = None
-        #: Message dispatch: "kind" → handler(sender_name, message).
-        self._dispatch: dict[str, Callable[[str, Any], None]] = {}
 
     # ------------------------------------------------------------------
     # Links
@@ -71,32 +91,82 @@ class QuantumNode(Entity):
     # Classical communication
     # ------------------------------------------------------------------
 
+    def classical_port(self, neighbour: str) -> Port:
+        """The port carrying classical traffic towards ``neighbour``.
+
+        Created on first use; the builder connects it to one end of the
+        :class:`~repro.netsim.channels.ClassicalChannel` for the hop.
+        The inbound handler demultiplexes ``(kind, sender, payload)``
+        tuples onto the matching ``svc:<kind>`` port.
+        """
+        port = self._classical.get(neighbour)
+        if port is None:
+            port = self.add_port(f"cl:{neighbour}", CLASSICAL,
+                                 handler=partial(self._on_message, neighbour))
+            self._classical[neighbour] = port
+        return port
+
+    def service_port(self, kind: str) -> Port:
+        """The port a protocol agent connects to serve message ``kind``.
+
+        Created on first use.  Messages travelling node → agent are
+        ``(sender, payload)`` tuples.
+        """
+        port = self._services.get(kind)
+        if port is None:
+            port = self.add_port(f"svc:{kind}", service_protocol(kind))
+            self._services[kind] = port
+        return port
+
     def attach_channel(self, neighbour: str, end: ChannelEnd) -> None:
-        """Register the classical channel towards a neighbour."""
-        if neighbour in self._channels:
-            raise ValueError(f"{self.name}: channel to {neighbour} already attached")
-        self._channels[neighbour] = end
-        end.connect(partial(self._on_message, neighbour))
+        """Deprecated: register the classical channel towards a neighbour.
+
+        New code connects ``node.classical_port(neighbour)`` to the
+        channel port directly; this shim does exactly that.
+        """
+        warnings.warn(
+            "QuantumNode.attach_channel() is deprecated; connect "
+            "node.classical_port(neighbour) to the channel port instead",
+            DeprecationWarning, stacklevel=2)
+        port = self.classical_port(neighbour)
+        if port.connected:
+            raise ValueError(
+                f"{self.name}: channel to {neighbour} already attached")
+        connect(port, end.port)
 
     def send(self, neighbour: str, kind: str, payload: Any) -> None:
         """Send a classical control message to a directly connected node."""
-        try:
-            end = self._channels[neighbour]
-        except KeyError:
-            raise KeyError(f"{self.name}: no classical channel to {neighbour}") from None
-        end.send((kind, self.name, payload))
+        port = self._classical.get(neighbour)
+        if port is None:
+            raise KeyError(f"{self.name}: no classical channel to {neighbour}")
+        port.tx((kind, self.name, payload))
 
     def register_handler(self, kind: str, handler: Callable[[str, Any], None]) -> None:
-        """Register the receiver for a message kind (e.g. "qnp", "signalling")."""
-        self._dispatch[kind] = handler
+        """Deprecated: register the receiver for a message kind.
+
+        New code (protocol agents) connects its own port to
+        ``node.service_port(kind)``; this shim wraps the bare callback in
+        a :class:`~repro.netsim.ports.CallbackComponent`, replacing any
+        existing connection (the historical overwrite semantics).
+        """
+        warnings.warn(
+            "QuantumNode.register_handler() is deprecated; connect an agent "
+            "port to node.service_port(kind) instead",
+            DeprecationWarning, stacklevel=2)
+        port = self.service_port(kind)
+        if port.connected:
+            port.disconnect()
+        adapter = CallbackComponent(_Unpack(handler), service_protocol(kind),
+                                    name=f"{self.name}.handler:{kind}")
+        connect(port, adapter.io)
 
     def _on_message(self, neighbour: str, message: Any) -> None:
         kind, sender, payload = message
-        handler = self._dispatch.get(kind)
-        if handler is None:
+        port = self._services.get(kind)
+        if port is None or not port.connected:
             raise RuntimeError(f"{self.name}: no handler for message kind {kind!r}")
-        handler(sender, payload)
+        port.tx((sender, payload))
 
     @property
     def neighbours(self) -> list[str]:
-        return sorted(self._channels)
+        return sorted(self._classical)

@@ -150,9 +150,10 @@ def topology_graph(kind: str, size: int, seed: int = 0, **kwargs) -> nx.Graph:
 def build_topology(kind: str, size: int, seed: int = 0,
                    params: HardwareParams = SIMULATION,
                    formalism: str = "dm", length_km: float = 0.002,
-                   slice_attempts: int = 100, **kwargs) -> Network:
+                   slice_attempts: int = 100,
+                   physical: str = "analytic", **kwargs) -> Network:
     """Generate a catalogue topology and wire it into a full network."""
     graph = topology_graph(kind, size, seed=seed, **kwargs)
     return build_network_from_graph(graph, length_km=length_km, params=params,
                                     seed=seed, slice_attempts=slice_attempts,
-                                    formalism=formalism)
+                                    formalism=formalism, physical=physical)

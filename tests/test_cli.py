@@ -79,10 +79,22 @@ def test_traffic_parser_defaults():
     assert args.fail_links == 0
     assert args.mtbf is None
     assert args.mttr is None
+    assert args.physical == "analytic"
     with pytest.raises(SystemExit):
         build_parser().parse_args(["traffic", "--topology", "nope"])
     with pytest.raises(SystemExit):
         build_parser().parse_args(["traffic", "--metric", "nope"])
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["traffic", "--physical", "nope"])
+
+
+def test_traffic_midpoint_physical_runs(capsys):
+    code = main(["--seed", "7", "traffic", "--topology", "grid", "--size", "2",
+                 "--circuits", "2", "--horizon", "0.4", "--formalism", "bell",
+                 "--physical", "midpoint"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "circuits" in out
 
 
 def test_traffic_recovery_flags_parsed():

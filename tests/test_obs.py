@@ -6,7 +6,7 @@ import random
 
 import pytest
 
-from repro.analysis.stats import Cdf, P2Quantile, percentile
+from repro.analysis.stats import Cdf, P2Quantile, ReservoirSample, percentile
 from repro.obs import (
     REQUIRED_SERIES,
     Counter,
@@ -95,6 +95,64 @@ class TestP2Quantile:
         for _ in range(2000):
             est.observe(rng.gauss(0, 1))
         assert est._heights == sorted(est._heights)
+
+
+class TestReservoirSample:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReservoirSample(0)
+        with pytest.raises(ValueError):
+            ReservoirSample(100).quantile(0.0)
+        with pytest.raises(ValueError):
+            ReservoirSample(100).quantile(0.5)
+
+    def test_exact_below_capacity(self):
+        res = ReservoirSample(10)
+        for value in range(7):
+            res.observe(value)
+        assert sorted(res.samples()) == [float(v) for v in range(7)]
+        assert res.quantile(0.5) == pytest.approx(3.0)
+
+    def test_bounded_memory(self):
+        res = ReservoirSample(64, seed=3)
+        for value in range(50_000):
+            res.observe(value)
+        assert res.count == 50_000
+        assert len(res) == 64
+
+    def test_deterministic_for_seed(self):
+        def fill(seed):
+            res = ReservoirSample(32, seed=seed)
+            for value in range(10_000):
+                res.observe(value)
+            return res.samples()
+
+        assert fill(5) == fill(5)
+        assert fill(5) != fill(6)
+
+    def test_uniform_over_stream(self):
+        # Property: the reservoir is a uniform draw, so the estimated
+        # median of 0..N-1 lands near N/2 (averaged over reservoirs).
+        estimates = [ReservoirSample(256, seed=s) for s in range(8)]
+        for value in range(20_000):
+            for res in estimates:
+                res.observe(value)
+        medians = [res.quantile(0.5) for res in estimates]
+        assert abs(sum(medians) / len(medians) - 10_000) < 1_500
+
+    @pytest.mark.parametrize("dist", sorted(DISTRIBUTIONS))
+    def test_tracks_exact_percentile(self, dist):
+        rng = random.Random(hash(dist) & 0xFFFF)
+        draw = DISTRIBUTIONS[dist]
+        res = ReservoirSample(1024, seed=1)
+        samples = []
+        for _ in range(20_000):
+            value = draw(rng)
+            samples.append(value)
+            res.observe(value)
+        exact = percentile(samples, 95)
+        span = max(samples) - min(samples)
+        assert abs(res.quantile(0.95) - exact) <= 0.05 * span
 
 
 class TestCdfAt:
